@@ -1,0 +1,6 @@
+"""Benchmark harness package.
+
+One benchmark per paper table/figure (``test_bench_*``), design-choice
+ablations (``test_ablation_*``), and hot-path performance benchmarks
+(``test_perf_*``). Run with ``pytest benchmarks/ --benchmark-only``.
+"""

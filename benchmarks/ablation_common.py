@@ -1,0 +1,34 @@
+"""Shared scenario builders for the ablation benchmarks.
+
+Ablations sweep one design knob and re-run a reduced version of the
+affected experiment, so they use a tighter world than the figure
+benchmarks (fewer days, smaller topology) to keep sweeps fast.
+"""
+
+from repro.booter.market import MarketConfig
+from repro.netmodel.topology import TopologyConfig
+from repro.scenario import Scenario, ScenarioConfig
+
+__all__ = ["tiny_scenario_config", "tiny_scenario"]
+
+
+def tiny_scenario_config(seed: int = 2018, **overrides) -> ScenarioConfig:
+    params = dict(
+        seed=seed,
+        scale=0.1,
+        topology=TopologyConfig(n_tier1=3, n_tier2=10, n_stub=60),
+        market=MarketConfig(daily_attacks=120.0, n_victims=400),
+        pool_sizes=(
+            ("ntp", 1500),
+            ("dns", 1200),
+            ("cldap", 500),
+            ("memcached", 250),
+            ("ssdp", 300),
+        ),
+    )
+    params.update(overrides)
+    return ScenarioConfig(**params)
+
+
+def tiny_scenario(seed: int = 2018, **overrides) -> Scenario:
+    return Scenario(tiny_scenario_config(seed, **overrides))

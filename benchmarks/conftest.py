@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures at the
+small preset, reports its runtime via pytest-benchmark, prints the
+paper-vs-measured comparison, and asserts the shape conclusions.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def config():
+    return ExperimentConfig(preset="small", seed=2018)
+
+
+def run_and_report(benchmark, experiment_id, config):
+    """Run an experiment under the benchmark timer and print its report."""
+    from repro.experiments import run_experiment
+
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment_id, config), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    return result

@@ -1,0 +1,67 @@
+"""Ablation: validate the model's causal story for Figure 4.
+
+DESIGN.md attributes the reflector-bound traffic drop to backend
+*scanning* that dies with the seized services, while triggers and benign
+queries persist. If that mechanism is right, the reduction depth must be
+a monotone function of the scanning share: more scanning before the
+takedown -> deeper red30. This ablation sweeps the market-wide NTP scan
+rate and checks exactly that.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.ablation_common import tiny_scenario_config
+from repro.booter.market import MarketConfig
+from repro.core.pipeline import TrafficSelector, collect_daily_port_series
+from repro.core.takedown_analysis import analyze_takedown
+from repro.scenario import Scenario
+
+WINDOW = 15
+SCAN_RATES = (40_000.0, 160_000.0, 640_000.0)
+
+
+def _red30_for_scan_rate(scan_ntp_pps: float) -> float:
+    market = MarketConfig(
+        daily_attacks=120.0,
+        n_victims=400,
+        scan_pps=(
+            ("ntp", scan_ntp_pps),
+            ("dns", 60_000.0),
+            ("cldap", 3_000.0),
+            ("memcached", 12_000.0),
+            ("ssdp", 1_500.0),
+        ),
+    )
+    scenario = Scenario(tiny_scenario_config(market=market))
+    takedown = scenario.config.takedown_day
+    day_range = (takedown - WINDOW - 1, takedown + WINDOW + 2)
+    series = collect_daily_port_series(
+        scenario,
+        "ixp",
+        [TrafficSelector("ntp_to", 123, "to_reflectors")],
+        day_range=day_range,
+    )
+    report = analyze_takedown(
+        series.get("ntp_to"), takedown - day_range[0], windows=(WINDOW,)
+    )
+    return report.window(WINDOW).reduction_ratio
+
+
+def test_ablation_scan_share(benchmark):
+    reds = benchmark.pedantic(
+        lambda: {rate: _red30_for_scan_rate(rate) for rate in SCAN_RATES},
+        rounds=1,
+        iterations=1,
+    )
+    print("\nNTP->reflector reduction vs market scan rate (IXP, ±15d):")
+    for rate, red in reds.items():
+        print(f"  scan {rate / 1000:5.0f}k pps: red = {red * 100:.1f}%")
+
+    # The mechanism check: more pre-takedown scanning -> deeper reduction.
+    values = [reds[rate] for rate in SCAN_RATES]
+    assert values[0] > values[1] > values[2]
+    # At high scan share the reduction approaches the surviving-scanner
+    # floor (~30%); at low share it stays shallow.
+    assert values[0] > 0.5
+    assert values[2] < 0.45

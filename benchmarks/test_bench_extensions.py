@@ -1,0 +1,27 @@
+"""Benchmarks: the extension experiments (paper's stated future work)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_econ(benchmark, config):
+    result = run_and_report(benchmark, "econ", config)
+    reports = result.get("reports")
+    # The seizure shocks the economy but the market survives and recovers
+    # — the economic counterpart of the paper's traffic-side findings.
+    seizure = reports["domain seizure"]
+    assert 0.03 < seizure.dip_fraction() < 0.6
+    assert seizure.recovery_day(threshold=0.9) is not None
+    # A market-wide payment intervention recovers more slowly than the
+    # targeted seizure (it suppresses signups everywhere).
+    payment = reports["payment intervention"]
+    assert payment.recovery_day(threshold=0.9) > seizure.recovery_day(threshold=0.9)
+
+
+def test_bench_whatif(benchmark, config):
+    result = run_and_report(benchmark, "whatif", config)
+    demand = result.get("demand_takedown")
+    capacity = result.get("capacity_remediation")
+    # The takedown's victim-side effect vanishes; reflector remediation's
+    # compounds — the quantitative version of the paper's recommendation.
+    assert demand[-1] > 0.9
+    assert capacity[-1] < 0.5

@@ -1,0 +1,51 @@
+"""Benchmarks: regenerate Figure 1 (self-attack measurements)."""
+
+import numpy as np
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_fig1a(benchmark, config):
+    result = run_and_report(benchmark, "fig1a", config)
+    summary = result.get("summary")
+    # Paper: mean 1440 Mbps, peak 7078 Mbps for non-VIP runs. The shape
+    # assertion: Gbps-level means, multi-Gbps peaks, NTP most potent.
+    assert 1000 < summary.mean_mbps < 4000
+    assert 4000 < summary.peak_mbps < 12_000
+    ms = result.get("measurements")
+    ntp_peak = ms["booter A NTP"].peak_bps
+    dns_like = ms["booter B memcached"].peak_bps
+    assert ntp_peak > dns_like  # NTP is the most potent vector
+    # Transit carries the majority of attack traffic (paper: 80.81%).
+    assert summary.mean_transit_share > 0.6
+    # Disabling transit spreads delivery over more peers but loses volume.
+    assert result.get("mean_peers_without_transit") > result.get("mean_peers_with_transit")
+
+
+def test_bench_fig1b(benchmark, config):
+    result = run_and_report(benchmark, "fig1b", config)
+    ntp = result.get("ntp")
+    mc = result.get("memcached")
+    # Paper: VIP NTP ~20 Gbps with a BGP-flap dip; memcached ~10 Gbps.
+    assert 15e9 < ntp.peak_offered_bps < 30e9
+    assert 6e9 < mc.peak_offered_bps < 16e9
+    assert ntp.flapped() and not mc.flapped()
+    # Far below the promised 80-100 Gbps.
+    assert ntp.peak_offered_bps / 1e9 < 40
+    # The dip: delivered rate collapses while the session is down.
+    series = result.get("ntp_series_gbps")
+    assert series.min() < 0.5 * series.max()
+
+
+def test_bench_fig1c(benchmark, config):
+    result = run_and_report(benchmark, "fig1c", config)
+    om = result.get("overlap")
+    assert om.matrix.shape == (16, 16)
+    # The four phenomena of Figure 1(c).
+    assert result.get("stable_churn_overlap") > 0.5          # (1) stability w/ churn
+    assert result.get("replacement_overlap") < 0.3           # (1) sudden new set
+    assert result.get("same_day_overlap") > 0.9              # (3) same-day stability
+    assert result.get("cross_booter_overlap") < 0.35         # (4) occasional low overlap
+    assert result.get("vip_nonvip_overlap") == 1.0           # VIP = non-VIP set
+    # Booters use a small slice of the available amplifier population.
+    assert result.get("total_unique_reflectors") < 2000

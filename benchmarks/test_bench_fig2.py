@@ -1,0 +1,51 @@
+"""Benchmarks: regenerate Figure 2 (NTP amplification in the wild)."""
+
+import numpy as np
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_fig2a(benchmark, config):
+    result = run_and_report(benchmark, "fig2a", config)
+    frac = result.get("frac_below_200")
+    # Paper: bimodal, 54% below 200 B. We assert substantial mass in both
+    # modes and the monlist mode at 486/490 B.
+    assert 0.3 < frac < 0.85
+    sizes = result.get("sizes")
+    large = sizes[sizes > 400]
+    assert np.median(large) == np.float64(486.0) or abs(np.median(large) - 487) < 10
+
+
+def test_bench_fig2b(benchmark, config):
+    result = run_and_report(benchmark, "fig2b", config)
+    reports = result.get("reports")
+    # Paper ordering: IXP (244K) > tier-2 (95K) > tier-1 (36K; short window).
+    assert reports["ixp"].n_destinations > reports["tier2"].n_destinations
+    assert reports["tier2"].n_destinations > reports["tier1"].n_destinations
+    # Heavy hitters exist: tens-of-Gbps victims, hundreds of amplifiers.
+    assert reports["ixp"].max_victim_gbps() > 10
+    assert max(int(r.unique_sources.max()) for r in reports.values() if len(r.stats)) > 300
+
+
+def test_bench_fig2c(benchmark, config):
+    result = run_and_report(benchmark, "fig2c", config)
+    ecdf_sources = result.get("ecdf_sources")
+    ecdf_gbps = result.get("ecdf_gbps")
+    # Most destinations see <10 amplifiers per minute (paper: 70-90%).
+    for vantage, ecdf in ecdf_sources.items():
+        assert ecdf.evaluate(10.0) > 0.5, vantage
+    # Only a small fraction of targets peak above 1 Gbps (paper: 0.09).
+    frac_over = 1.0 - ecdf_gbps["ixp"].evaluate(1.0)
+    assert frac_over < 0.3
+
+
+def test_bench_landscape(benchmark, config):
+    result = run_and_report(benchmark, "landscape", config)
+    red = result.get("reductions")
+    # Paper: both 78%, (a) 74%, (b) 59% — ordering both >= a >= b and all
+    # substantial.
+    assert red["both"] >= red["rule_a_only"] >= red["rule_b_only"]
+    assert red["both"] > 0.5
+    assert red["rule_b_only"] > 0.3
+    # Something must survive: the conservative set is non-empty.
+    assert len(result.get("kept")) > 0

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 3 (booter domains in the Alexa Top 1M)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_fig3(benchmark, config):
+    result = run_and_report(benchmark, "fig3", config)
+    monthly = result.get("monthly")
+    # Booter presence in the Top 1M grows over the measurement period.
+    assert len(monthly["2018-11"]) > len(monthly["2017-01"])
+    # Seized domains appear in the list before the takedown...
+    assert any(seized for _, _, seized in monthly["2018-11"])
+    # ...and fade long after it (rank decay).
+    assert sum(s for _, _, s in monthly["2019-04"]) <= sum(
+        s for _, _, s in monthly["2018-11"]
+    )
+    # Booter A's replacement domain is discovered by the re-crawl and
+    # enters the Top 1M days after the seizure (paper: 3 days).
+    assert result.get("new_domains")
+    assert result.get("revival_entry_day_offset") <= 7

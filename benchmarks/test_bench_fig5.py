@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 5 (systems under NTP attack per hour).
+
+The paper's second null result: applying the conservative filter learned
+from the self-attacks, the number of systems under NTP DDoS attack shows
+no significant reduction after the takedown.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_fig5(benchmark, config):
+    result = run_and_report(benchmark, "fig5", config)
+    report = result.get("report")
+    # wt30/wt40 must both be non-significant (paper: False/False).
+    assert not report.window(30).significant
+    assert not report.window(40).significant
+    # Attacks keep happening: the hourly series is non-degenerate on both
+    # sides of the takedown.
+    daily = result.get("daily_series")
+    idx = result.get("takedown_index")
+    assert daily[:idx].sum() > 0
+    assert daily[idx + 1 :].sum() > 0

@@ -1,0 +1,15 @@
+"""Benchmark: the in-text summary numbers of Sections 3.2 and 4."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_selfattack_summary(benchmark, config):
+    result = run_and_report(benchmark, "selfattack", config)
+    summary = result.get("summary")
+    # Paper: non-VIP mean 1440 Mbps / peak 7078 Mbps; VIP NTP ~20 Gbps;
+    # NTP transit share 80.81%.
+    assert 1000 < summary.mean_mbps < 4000
+    assert 4000 < summary.peak_mbps < 12_000
+    assert 0.6 < summary.mean_transit_share < 0.95
+    vip_ntp = next(m for s, m in result.get("vip") if s.vector == "ntp")
+    assert 15e9 < vip_ntp.peak_offered_bps < 30e9

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 1 (the purchased booters)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bench_table1(benchmark, config):
+    result = run_and_report(benchmark, "table1", config)
+    rows = result.get("rows")
+    assert [r["booter"] for r in rows] == ["A", "B", "C", "D"]
+    # Seizure flags and VIP pricing as in the paper's table.
+    assert result.get("seized") == ["A", "B"]
+    by_name = {r["booter"]: r for r in rows}
+    assert by_name["B"]["vip_usd"] == "$178.84"
+    assert by_name["C"]["memcached"] == ""  # C offered NTP/DNS only

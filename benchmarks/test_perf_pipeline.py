@@ -1,0 +1,88 @@
+"""Performance benchmarks of the pipeline's hot paths.
+
+Unlike the figure benchmarks (one timed regeneration each), these measure
+throughput of the operations that dominate multi-month runs: attack flow
+synthesis, vantage-point observation, packet sampling, per-destination
+aggregation, and classification. Useful for catching regressions when
+the substrate changes.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.ablation_common import tiny_scenario
+from repro.booter.attack import synthesize_attack_flows
+from repro.core.classify import ConservativeClassifier
+from repro.flows.sampling import PacketSampler
+from repro.flows.timeseries import per_destination_stats
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return tiny_scenario()
+
+
+@pytest.fixture(scope="module")
+def day_traffic(scenario):
+    return scenario.day_traffic(40)
+
+
+def test_perf_day_generation(benchmark, scenario):
+    traffic = benchmark(lambda: scenario.day_traffic(41))
+    assert len(traffic.attack) > 0
+
+
+def test_perf_attack_flow_synthesis(benchmark, scenario, day_traffic):
+    event = day_traffic.events[0]
+    rng = np.random.default_rng(0)
+    flows = benchmark(lambda: synthesize_attack_flows(event, rng, bin_seconds=60.0))
+    assert flows.total_packets > 0
+
+
+def test_perf_ixp_observation(benchmark, scenario, day_traffic):
+    observed = benchmark(lambda: scenario.observe_day("ixp", day_traffic))
+    assert len(observed) >= 0
+
+
+def test_perf_packet_sampling(benchmark, day_traffic):
+    table = day_traffic.all_flows()
+    sampler = PacketSampler(10_000)
+    rng = np.random.default_rng(0)
+    sampled = benchmark(lambda: sampler.apply(table, rng))
+    assert len(sampled) <= len(table)
+
+
+def test_perf_per_destination_stats(benchmark, day_traffic):
+    table = day_traffic.attack
+    stats = benchmark(lambda: per_destination_stats(table))
+    assert len(stats) > 0
+
+
+def test_perf_conservative_classification(benchmark, scenario, day_traffic):
+    observed = scenario.observe_day("ixp", day_traffic)
+    clf = ConservativeClassifier()
+    stats = benchmark(
+        lambda: clf.classify_flows(observed, sampling_factor=10_000.0)
+    )
+    assert len(stats) >= 0
+
+
+def test_perf_streaming_ingest(benchmark, scenario, day_traffic):
+    from repro.core.pipeline import TrafficSelector
+    from repro.core.streaming import StreamingAnalyzer
+
+    observed = scenario.observe_day("ixp", day_traffic)
+    selectors = [
+        TrafficSelector("ntp_to", 123, "to_reflectors"),
+        TrafficSelector("ntp_from", 123, "from_reflectors"),
+    ]
+
+    def ingest():
+        analyzer = StreamingAnalyzer(
+            selectors, n_days=scenario.config.n_days, sampling_factor=10_000.0
+        )
+        analyzer.ingest_day(40, observed)
+        return analyzer
+
+    analyzer = benchmark(ingest)
+    assert analyzer.daily_series("ntp_to")[40] > 0

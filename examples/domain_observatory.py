@@ -1,0 +1,60 @@
+"""Domain observatory: find booter websites and track their Alexa ranks.
+
+Recreates Section 5.1: keyword-match the weekly .com/.net/.org zone
+snapshot, verify candidates by visiting them, rank the identified booter
+domains by monthly median Alexa rank, and re-run the crawl after the
+takedown to catch booter A's replacement domain.
+
+Run:  python examples/domain_observatory.py
+"""
+
+from repro.experiments.base import ExperimentConfig
+from repro.experiments.fig3 import build_domain_world
+from repro.timeutil import DOMAIN_EPOCH, TAKEDOWN_DATE, date_of, day_index
+
+
+def main() -> None:
+    universe, alexa, crawler = build_domain_world(ExperimentConfig(seed=2018))
+    takedown_day = day_index(TAKEDOWN_DATE, DOMAIN_EPOCH)
+
+    print(f"domain universe: {len(universe)} domains "
+          f"({len(universe.booter_records())} operated by booters)\n")
+
+    crawl = crawler.crawl(universe, takedown_day - 7)
+    print(f"weekly crawl one week before the takedown:")
+    print(f"  keyword candidates : {len(crawl.candidates)}")
+    print(f"  verified booters   : {len(crawl.verified)}")
+    print(f"  false positives    : {len(crawl.false_positives)} "
+          f"(e.g. {', '.join(crawl.false_positives[:3])})")
+    print(f"  missed (stealth)   : {len(crawl.missed_booters)}")
+    print(f"  precision {crawl.precision:.2f}, recall {crawl.recall:.2f}\n")
+
+    print("booter domains in the Alexa Top 1M (best monthly median first):")
+    month = "2018-11"
+    ranked = sorted(
+        (alexa.monthly_median_rank(name, month), name)
+        for name in crawl.verified
+    )
+    for median, name in ranked[:8]:
+        if median == float("inf"):
+            continue
+        seized = universe.get(name).seized_day is not None
+        tag = "  [seized in Dec]" if seized else ""
+        print(f"  {name:<28} median rank {median:>9,.0f}{tag}")
+
+    print("\nre-crawling after the takedown ...")
+    new = crawler.newly_verified(universe, takedown_day - 1, takedown_day + 7)
+    for name in new:
+        record = universe.get(name)
+        print(f"  NEW booter domain: {name} (operated by booter {record.booter}, "
+              f"registered {date_of(record.registered_day, DOMAIN_EPOCH)}, "
+              f"went live {date_of(record.activated_day, DOMAIN_EPOCH)})")
+        for offset in range(0, 10):
+            if alexa.in_top_list(name, takedown_day + offset):
+                print(f"  entered the Alexa Top 1M {offset} days after the seizure "
+                      f"(paper: 3 days)")
+                break
+
+
+if __name__ == "__main__":
+    main()

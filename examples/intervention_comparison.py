@@ -1,0 +1,84 @@
+"""Intervention comparison: what actually hurts the booter ecosystem?
+
+The paper ends by asking how law enforcement affects the booter economy
+and recommends going after open reflectors rather than just front-end
+domains. This example runs both extensions side by side:
+
+1. the economy under four interventions (none / domain seizure /
+   payment-channel crackdown / operator arrest), and
+2. victim-side attack capacity under "seize front-ends" vs "remediate
+   reflectors".
+
+Run:  python examples/intervention_comparison.py
+"""
+
+from repro.booter.market import MarketConfig
+from repro.economics.interventions import (
+    DomainSeizure,
+    NoIntervention,
+    OperatorArrest,
+    PaymentIntervention,
+)
+from repro.economics.simulate import EconomySimulation
+from repro.mitigation.remediation import RemediationPolicy, ReflectorRemediation
+from repro.netmodel.topology import TopologyConfig
+from repro.scenario import Scenario, ScenarioConfig
+
+
+def main() -> None:
+    scenario = Scenario(
+        ScenarioConfig(
+            seed=2018,
+            scale=0.1,
+            topology=TopologyConfig(n_tier1=3, n_tier2=12, n_stub=80),
+            market=MarketConfig(daily_attacks=120.0, n_victims=600),
+            pool_sizes=(("ntp", 2000), ("dns", 1500), ("cldap", 600), ("memcached", 300), ("ssdp", 400)),
+        )
+    )
+
+    print("=== booter economy under four interventions (day 80 shock) ===\n")
+    sim = EconomySimulation(scenario.market, scenario.seeds.child("econ-example"))
+    interventions = [
+        NoIntervention(),
+        DomainSeizure(day=80),
+        PaymentIntervention(day=80),
+        OperatorArrest(day=80, booter="A"),
+    ]
+    header = f"{'intervention':<22} {'customer dip':>12} {'90% recovery':>14} {'revenue lost':>14}"
+    print(header)
+    print("-" * len(header))
+    for intervention in interventions:
+        report = sim.run(220, intervention)
+        recovery = report.recovery_day(threshold=0.9)
+        print(
+            f"{intervention.name:<22} {report.dip_fraction() * 100:11.1f}%"
+            f" {('day ' + str(recovery)) if recovery is not None else 'not in horizon':>14}"
+            f" ${report.revenue_loss():13,.0f}"
+        )
+
+    print("\n=== victim-side attack capacity: seizure vs remediation ===\n")
+    takedown_day = scenario.config.takedown_day
+    remediation = ReflectorRemediation(
+        scenario.pools["ntp"],
+        RemediationPolicy(daily_patch_fraction=0.12, daily_reinfection=0.002, start_day=takedown_day),
+        scenario.seeds.child("remediation-example"),
+    )
+    import numpy as np
+
+    working = np.arange(300)
+    print(f"{'days after':>10} {'takedown only':>14} {'remediation only':>17}")
+    for offset in (0, 5, 10, 20, 40):
+        day = takedown_day + offset
+        demand = scenario.takedown.demand_scale(scenario.market, day)
+        capacity = remediation.attack_capacity(day, working, refill=True)
+        print(f"{offset:>10} {demand * 100:13.0f}% {capacity * 100:16.0f}%")
+
+    print(
+        "\nthe seizure's victim-side effect evaporates within days (demand"
+        "\nmigrates); a sustained reflector-remediation campaign compounds —"
+        "\nthe quantitative case for the paper's closing recommendation."
+    )
+
+
+if __name__ == "__main__":
+    main()

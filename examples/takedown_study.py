@@ -1,0 +1,67 @@
+"""Takedown study: did the FBI seizure reduce DDoS traffic?
+
+Recreates Section 5.2's methodology on a shortened window (±15 days
+around the seizure, for speed — the full ±30/±40-day analysis is
+``repro-experiments fig4``): daily packet counts per reflector port and
+direction at the tier-2 ISP, one-tailed Welch tests, and reduction ratios.
+
+Run:  python examples/takedown_study.py
+"""
+
+from repro.booter.market import MarketConfig
+from repro.core.pipeline import TrafficSelector, collect_daily_port_series
+from repro.core.takedown_analysis import analyze_takedown
+from repro.netmodel.topology import TopologyConfig
+from repro.scenario import Scenario, ScenarioConfig
+from repro.timeutil import TAKEDOWN_DATE, date_of
+
+
+def main() -> None:
+    window = 15
+    config = ScenarioConfig(
+        seed=2018,
+        scale=0.1,
+        topology=TopologyConfig(n_tier1=3, n_tier2=12, n_stub=80),
+        market=MarketConfig(daily_attacks=120.0, n_victims=600),
+        pool_sizes=(("ntp", 2000), ("dns", 1500), ("cldap", 600), ("memcached", 300), ("ssdp", 400)),
+    )
+    scenario = Scenario(config)
+    takedown_day = scenario.config.takedown_day
+    day_range = (takedown_day - window - 1, takedown_day + window + 2)
+    print(
+        f"seizure of 15 booter domains on {TAKEDOWN_DATE} (scenario day {takedown_day}); "
+        f"analyzing {date_of(day_range[0])} .. {date_of(day_range[1] - 1)} at the tier-2 ISP\n"
+    )
+
+    selectors = [
+        TrafficSelector("NTP->reflectors", 123, "to_reflectors"),
+        TrafficSelector("DNS->reflectors", 53, "to_reflectors"),
+        TrafficSelector("memcached->reflectors", 11211, "to_reflectors"),
+        TrafficSelector("NTP->victims", 123, "from_reflectors"),
+    ]
+    series = collect_daily_port_series(scenario, "tier2", selectors, day_range=day_range)
+
+    takedown_index = takedown_day - day_range[0]
+    for selector in selectors:
+        report = analyze_takedown(
+            series.get(selector.name),
+            takedown_index,
+            windows=(window,),
+            series_name=selector.name,
+        )
+        w = report.window(window)
+        verdict = "SIGNIFICANT reduction" if w.significant else "no significant change"
+        print(
+            f"{selector.name:<24} after/before = {w.reduction_ratio * 100:6.1f}%"
+            f"   p = {w.welch.p_value:.4f}   -> {verdict}"
+        )
+
+    print(
+        "\npaper's conclusion: the takedown cut traffic to reflectors but not"
+        "\nthe attack traffic hitting victims — seizing booter front-ends"
+        "\nleaves the reflector infrastructure usable by everyone else."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Threat landscape: a week of DDoS through three vantage points.
+
+Recreates Section 4's characterization: apply the optimistic NTP
+classifier at an IXP, a tier-1 ISP, and a tier-2 ISP, compare what each
+sees (visibility, sampling, direction filters differ), and show how the
+conservative filter cuts the destination population down to real attacks.
+
+Run:  python examples/threat_landscape.py
+"""
+
+import numpy as np
+
+from repro.booter.market import MarketConfig
+from repro.core.classify import ClassifierThresholds, ConservativeClassifier
+from repro.core.victims import victim_report
+from repro.flows.records import FlowTable
+from repro.netmodel.topology import TopologyConfig
+from repro.scenario import Scenario, ScenarioConfig
+
+SAMPLING = {"ixp": 10_000.0, "tier1": 1_000.0, "tier2": 1_000.0}
+
+
+def main() -> None:
+    config = ScenarioConfig(
+        seed=2018,
+        scale=0.1,
+        topology=TopologyConfig(n_tier1=3, n_tier2=12, n_stub=80),
+        market=MarketConfig(daily_attacks=150.0, n_victims=600),
+        pool_sizes=(("ntp", 2000), ("dns", 1500), ("cldap", 600), ("memcached", 300), ("ssdp", 400)),
+    )
+    scenario = Scenario(config)
+    days = range(74, 81)  # inside every capture window (tier-1 starts day 73)
+
+    print(f"collecting {len(list(days))} days of traffic at 3 vantage points ...\n")
+    observed: dict[str, list[FlowTable]] = {"ixp": [], "tier1": [], "tier2": []}
+    for day in days:
+        traffic = scenario.day_traffic(day)
+        for vantage in observed:
+            observed[vantage].append(scenario.observe_day(vantage, traffic))
+
+    header = f"{'vantage':<8} {'NTP dsts':>9} {'max Gbps':>9} {'max srcs':>9} {'confirmed':>10}"
+    print(header)
+    print("-" * len(header))
+    conservative = ConservativeClassifier(ClassifierThresholds())
+    for vantage, tables in observed.items():
+        trace = FlowTable.concat(tables)
+        report = victim_report(trace, sampling_factor=SAMPLING[vantage])
+        confirmed = conservative.classify(report.stats, sampling_factor=SAMPLING[vantage])
+        max_src = int(report.unique_sources.max()) if report.n_destinations else 0
+        print(
+            f"{vantage:<8} {report.n_destinations:>9} {report.max_victim_gbps():>9.1f}"
+            f" {max_src:>9} {len(confirmed):>10}"
+        )
+
+    print(
+        "\nthe IXP sees the most victims (largest visibility), the tier-1's"
+        "\nshort ingress-only trace the fewest; the conservative filter"
+        "\n(>1 Gbps peak AND >10 amplifiers) removes the scanning/monitoring"
+        "\nnoise that dominates the optimistic destination counts."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+The offline environment used for reproduction has no `wheel` package, so
+PEP 517 builds are unavailable; this shim lets `pip install -e .` fall back
+to `setup.py develop`. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

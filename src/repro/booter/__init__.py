@@ -1,0 +1,41 @@
+"""The booter (DDoS-as-a-service) ecosystem simulator.
+
+This package stands in for the parts of the paper's study that required
+buying real attacks and watching real criminals: reflector pools and their
+churn, booter services with VIP/non-VIP plans, the attack traffic they
+generate, a market of booters with Poisson attack arrivals against a
+heavy-tailed victim population, and the FBI takedown scenario with demand
+migration and booter A's re-emergence.
+"""
+
+from repro.booter.attack import (
+    AttackEvent,
+    synthesize_attack_flows,
+    synthesize_trigger_flows,
+)
+from repro.booter.catalog import (
+    BOOTER_CATALOG,
+    BooterCatalogEntry,
+    catalog_table_rows,
+)
+from repro.booter.market import BooterMarket, MarketConfig
+from repro.booter.reflectors import ReflectorChurnConfig, ReflectorPool, ReflectorSetProcess
+from repro.booter.service import BooterService, ServicePlan
+from repro.booter.takedown import TakedownScenario
+
+__all__ = [
+    "AttackEvent",
+    "BOOTER_CATALOG",
+    "BooterCatalogEntry",
+    "BooterMarket",
+    "BooterService",
+    "MarketConfig",
+    "ReflectorChurnConfig",
+    "ReflectorPool",
+    "ReflectorSetProcess",
+    "ServicePlan",
+    "TakedownScenario",
+    "catalog_table_rows",
+    "synthesize_attack_flows",
+    "synthesize_trigger_flows",
+]

@@ -1,0 +1,190 @@
+"""Attack events and their expansion into flow records.
+
+An :class:`AttackEvent` is the *intent* of one booter attack: victim,
+vector, rate, reflector set, weights. Two synthesizers expand an event
+into traffic:
+
+* :func:`synthesize_attack_flows` — the amplified reflector -> victim
+  response flood (what hits the victim and what Figures 1, 2 and 5
+  measure);
+* :func:`synthesize_trigger_flows` — the spoofed victim -> reflector
+  request stream that triggers the amplification (part of what Figure 4's
+  "packets to reflectors" time series measure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.flows.records import FlowTable
+from repro.protocols.amplification import UDP, vector_by_name
+
+__all__ = ["AttackEvent", "synthesize_attack_flows", "synthesize_trigger_flows"]
+
+
+@dataclass(frozen=True)
+class AttackEvent:
+    """One booter attack, fully specified."""
+
+    booter: str
+    vector: str
+    plan: str
+    victim_ip: int
+    victim_asn: int
+    start_time: float
+    duration_s: float
+    total_pps: float
+    reflector_ips: np.ndarray
+    reflector_asns: np.ndarray
+    reflector_weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("duration must be positive")
+        if self.total_pps <= 0:
+            raise ValueError("packet rate must be positive")
+        n = self.reflector_ips.size
+        if self.reflector_asns.size != n or self.reflector_weights.size != n:
+            raise ValueError("reflector arrays must align")
+        if n == 0:
+            raise ValueError("an attack needs at least one reflector")
+        if not np.isclose(self.reflector_weights.sum(), 1.0, atol=1e-6):
+            raise ValueError("reflector weights must sum to 1")
+
+    @property
+    def end_time(self) -> float:
+        return self.start_time + self.duration_s
+
+    @property
+    def n_reflectors(self) -> int:
+        return int(self.reflector_ips.size)
+
+    def expected_gbps(self) -> float:
+        """Analytic victim-side traffic rate."""
+        vector = vector_by_name(self.vector)
+        return self.total_pps * vector.mean_response_size * 8 / 1e9
+
+
+def _active_bins(
+    event: AttackEvent, bin_seconds: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """(bin start times, seconds of attack activity within each bin)."""
+    if bin_seconds <= 0:
+        raise ValueError("bin_seconds must be positive")
+    first = np.floor(event.start_time / bin_seconds) * bin_seconds
+    starts = np.arange(first, event.end_time, bin_seconds)
+    overlap = np.minimum(starts + bin_seconds, event.end_time) - np.maximum(
+        starts, event.start_time
+    )
+    active = overlap > 0
+    return starts[active], overlap[active]
+
+
+def synthesize_attack_flows(
+    event: AttackEvent,
+    rng: np.random.Generator,
+    bin_seconds: float = 60.0,
+    rate_jitter: float = 0.1,
+    bin_jitter: float = 0.0,
+) -> FlowTable:
+    """Expand ``event`` into reflector -> victim response flows.
+
+    One flow is emitted per (reflector, time bin). Packet counts follow the
+    event's per-reflector weights with multiplicative lognormal jitter of
+    ``rate_jitter`` sigma per (reflector, bin); ``bin_jitter`` adds a
+    lognormal factor *shared by all reflectors within a bin*, modelling
+    attack-wide rate swings (booter backends do not hold perfectly steady
+    rates — the per-second wiggle of Figure 1). Packet sizes use the
+    vector's response-size distribution.
+    """
+    if not 0.0 <= rate_jitter < 1.0:
+        raise ValueError("rate_jitter must be in [0, 1)")
+    if not 0.0 <= bin_jitter < 1.0:
+        raise ValueError("bin_jitter must be in [0, 1)")
+    vector = vector_by_name(event.vector)
+    bin_starts, active_secs = _active_bins(event, bin_seconds)
+    n_bins = bin_starts.size
+    n_refl = event.n_reflectors
+
+    base = np.outer(active_secs * event.total_pps, event.reflector_weights)
+    if bin_jitter > 0:
+        base = base * rng.lognormal(0.0, bin_jitter, size=(n_bins, 1))
+    if rate_jitter > 0:
+        base = base * rng.lognormal(0.0, rate_jitter, size=base.shape)
+    packets = np.maximum(np.round(base), 0).astype(np.int64)
+    mask = packets > 0
+    if not mask.any():
+        return FlowTable.empty()
+
+    bin_idx, refl_idx = np.nonzero(mask)
+    flow_packets = packets[bin_idx, refl_idx]
+    # Mean response size with slight per-flow variation from the size dist.
+    sizes = vector.sample_response_sizes(rng, flow_packets.size)
+    flow_bytes = np.round(flow_packets * sizes).astype(np.int64)
+    n_flows = flow_packets.size
+
+    return FlowTable(
+        {
+            "time": bin_starts[bin_idx],
+            "src_ip": event.reflector_ips[refl_idx],
+            "dst_ip": np.full(n_flows, event.victim_ip, dtype=np.uint32),
+            "proto": np.full(n_flows, UDP, dtype=np.uint8),
+            "src_port": np.full(n_flows, vector.port, dtype=np.uint16),
+            "dst_port": rng.integers(1024, 65535, n_flows).astype(np.uint16),
+            "packets": flow_packets,
+            "bytes": flow_bytes,
+            "src_asn": event.reflector_asns[refl_idx],
+            "dst_asn": np.full(n_flows, event.victim_asn, dtype=np.int64),
+        }
+    )
+
+
+def synthesize_trigger_flows(
+    event: AttackEvent,
+    rng: np.random.Generator,
+    bin_seconds: float = 60.0,
+    origin_asn: int = -1,
+) -> FlowTable:
+    """Expand ``event`` into spoofed victim -> reflector trigger flows.
+
+    The booter backend sends ``total_pps / PAF`` spoofed requests per
+    second, spread over the reflectors proportionally to their weights
+    (reflectors asked to carry more traffic receive more triggers).
+    Source addresses are the spoofed victim — resolving ``src_ip``
+    attributes the packets to the victim's network, which is why the paper
+    cannot attribute trigger traffic. ``src_asn`` however carries the
+    *true* routing origin (``origin_asn``, the booter backend's AS):
+    vantage-point visibility is a property of where packets physically
+    travel, not of the forged header.
+    """
+    vector = vector_by_name(event.vector)
+    request_pps = event.total_pps / vector.response_packets_per_request
+    bin_starts, active_secs = _active_bins(event, bin_seconds)
+
+    base = np.outer(active_secs * request_pps, event.reflector_weights)
+    packets = rng.poisson(base)
+    mask = packets > 0
+    if not mask.any():
+        return FlowTable.empty()
+
+    bin_idx, refl_idx = np.nonzero(mask)
+    flow_packets = packets[bin_idx, refl_idx].astype(np.int64)
+    flow_bytes = np.round(flow_packets * vector.request_size).astype(np.int64)
+    n_flows = flow_packets.size
+
+    return FlowTable(
+        {
+            "time": bin_starts[bin_idx],
+            "src_ip": np.full(n_flows, event.victim_ip, dtype=np.uint32),
+            "dst_ip": event.reflector_ips[refl_idx],
+            "proto": np.full(n_flows, UDP, dtype=np.uint8),
+            "src_port": rng.integers(1024, 65535, n_flows).astype(np.uint16),
+            "dst_port": np.full(n_flows, vector.port, dtype=np.uint16),
+            "packets": flow_packets,
+            "bytes": flow_bytes,
+            "src_asn": np.full(n_flows, origin_asn, dtype=np.int64),
+            "dst_asn": event.reflector_asns[refl_idx],
+        }
+    )

@@ -1,0 +1,99 @@
+"""The booter catalogue of Table 1.
+
+Table 1 of the paper lists the four booters purchased for the self-attack
+study: whether the FBI later seized them, the months they were used, the
+amplification protocols they offered, and the prices of the non-VIP and
+VIP packages. Booter names are anonymized as A-D in the paper and here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BooterCatalogEntry", "BOOTER_CATALOG", "catalog_table_rows"]
+
+
+@dataclass(frozen=True)
+class BooterCatalogEntry:
+    """One row of Table 1."""
+
+    name: str
+    seized: bool
+    measurement_months: tuple[str, ...]
+    protocols: tuple[str, ...]
+    price_non_vip_usd: float
+    price_vip_usd: float
+    vip_purchased: bool = False
+    advertised_vip_gbps: tuple[float, float] | None = None
+    advertised_non_vip_gbps: tuple[float, float] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("booter name required")
+        if self.price_non_vip_usd < 0 or self.price_vip_usd < 0:
+            raise ValueError("prices cannot be negative")
+        if not self.protocols:
+            raise ValueError("a booter offers at least one protocol")
+
+    def offers(self, protocol: str) -> bool:
+        return protocol in self.protocols
+
+
+BOOTER_CATALOG: dict[str, BooterCatalogEntry] = {
+    "A": BooterCatalogEntry(
+        name="A",
+        seized=True,
+        measurement_months=("2018-04", "2018-08"),
+        protocols=("ntp", "dns", "cldap", "memcached"),
+        price_non_vip_usd=8.00,
+        price_vip_usd=250.00,
+    ),
+    "B": BooterCatalogEntry(
+        name="B",
+        seized=True,
+        measurement_months=("2018-06", "2018-07", "2018-08", "2018-09"),
+        protocols=("ntp", "dns", "cldap", "memcached"),
+        price_non_vip_usd=19.83,
+        price_vip_usd=178.84,
+        vip_purchased=True,
+        # Booter B's VIP tier promised 80-100 Gbps vs 8-12 Gbps non-VIP.
+        advertised_vip_gbps=(80.0, 100.0),
+        advertised_non_vip_gbps=(8.0, 12.0),
+    ),
+    "C": BooterCatalogEntry(
+        name="C",
+        seized=False,
+        measurement_months=("2018-04", "2018-05"),
+        protocols=("ntp", "dns"),
+        price_non_vip_usd=14.00,
+        price_vip_usd=89.00,
+    ),
+    "D": BooterCatalogEntry(
+        name="D",
+        seized=False,
+        measurement_months=("2018-05",),
+        protocols=("ntp", "dns"),
+        price_non_vip_usd=19.99,
+        price_vip_usd=149.99,
+    ),
+}
+
+
+def catalog_table_rows() -> list[dict[str, str]]:
+    """Render Table 1 as a list of printable row dicts."""
+    rows = []
+    for entry in BOOTER_CATALOG.values():
+        rows.append(
+            {
+                "booter": entry.name,
+                "seized": "yes" if entry.seized else "no",
+                "months": ", ".join(entry.measurement_months),
+                "ntp": "x" if entry.offers("ntp") else "",
+                "dns": "x" if entry.offers("dns") else "",
+                "cldap": "x" if entry.offers("cldap") else "",
+                "memcached": "x" if entry.offers("memcached") else "",
+                "non_vip_usd": f"${entry.price_non_vip_usd:.2f}",
+                "vip_usd": f"${entry.price_vip_usd:.2f}",
+            }
+        )
+    return rows

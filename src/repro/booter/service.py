@@ -1,0 +1,160 @@
+"""Booter services and their attack plans.
+
+A :class:`BooterService` ties together a catalogue entry (Table 1), the
+service's reflector-set processes per protocol, its plans (non-VIP/VIP),
+its share of market demand, and its *backend activity*: the scanning and
+verification traffic a booter's infrastructure continuously directs at
+reflector ports to keep its amplifier lists fresh. Backend activity is
+what vanishes instantly when the FBI seizes the service; attack demand
+merely migrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.booter.attack import AttackEvent
+from repro.booter.catalog import BooterCatalogEntry
+from repro.booter.reflectors import ReflectorSetProcess
+from repro.protocols.amplification import vector_by_name
+from repro.stats.rng import SeedSequenceTree
+
+__all__ = ["ServicePlan", "BooterService"]
+
+
+@dataclass(frozen=True)
+class ServicePlan:
+    """One purchasable tier of a booter.
+
+    Attributes:
+        name: plan label ("non-vip" / "vip").
+        price_usd: price of the plan.
+        total_packet_rate_pps: total attack packet rate the backend drives
+            across the (shared) reflector set. The paper measured 2.2M pps
+            for booter B's non-VIP tier vs 5.3M pps for VIP — same
+            reflectors, higher rate.
+        max_duration_s: maximum attack duration the plan allows.
+    """
+
+    name: str
+    price_usd: float
+    total_packet_rate_pps: float
+    max_duration_s: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.price_usd < 0:
+            raise ValueError("price cannot be negative")
+        if self.total_packet_rate_pps <= 0:
+            raise ValueError("packet rate must be positive")
+        if self.max_duration_s <= 0:
+            raise ValueError("max duration must be positive")
+
+
+@dataclass
+class BooterService:
+    """One DDoS-as-a-service operation.
+
+    Attributes:
+        catalog: the Table 1 entry (name, seized flag, protocols, prices).
+        plans: plan name -> :class:`ServicePlan`.
+        reflector_sets: protocol name -> reflector-set process.
+        popularity: relative market share of attack demand.
+        backend_asn: AS hosting the booter's backend (scan origin).
+        backend_ip: a representative backend address.
+        scan_pps_per_protocol: packets/second of list-maintenance scanning
+            the backend sends to each offered protocol's port while alive.
+    """
+
+    catalog: BooterCatalogEntry
+    plans: dict[str, ServicePlan]
+    reflector_sets: dict[str, ReflectorSetProcess]
+    popularity: float
+    backend_asn: int
+    backend_ip: int
+    scan_pps_per_protocol: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.popularity < 0:
+            raise ValueError("popularity cannot be negative")
+        if not self.plans:
+            raise ValueError("a booter needs at least one plan")
+        for protocol in self.reflector_sets:
+            if not self.catalog.offers(protocol):
+                raise ValueError(
+                    f"booter {self.catalog.name} has reflectors for unoffered {protocol!r}"
+                )
+        for protocol in self.scan_pps_per_protocol:
+            if not self.catalog.offers(protocol):
+                raise ValueError(
+                    f"booter {self.catalog.name} scans unoffered {protocol!r}"
+                )
+
+    @property
+    def name(self) -> str:
+        return self.catalog.name
+
+    def plan(self, plan_name: str) -> ServicePlan:
+        try:
+            return self.plans[plan_name]
+        except KeyError:
+            raise KeyError(
+                f"booter {self.name} has no plan {plan_name!r} "
+                f"(has: {sorted(self.plans)})"
+            ) from None
+
+    def launch_attack(
+        self,
+        victim_ip: int,
+        victim_asn: int,
+        vector_name: str,
+        start_time: float,
+        duration_s: float,
+        plan_name: str,
+        day: int,
+        seeds: SeedSequenceTree,
+        rate_multiplier: float = 1.0,
+    ) -> AttackEvent:
+        """Create an :class:`AttackEvent` against ``victim_ip``.
+
+        ``day`` indexes the reflector-set process (which working set is in
+        use); ``seeds`` scopes the per-attack randomness (reflector load
+        weights) so identical launch parameters give identical events.
+        ``rate_multiplier`` scales the plan's packet rate — weaker vectors
+        (DNS, SSDP) cannot be driven at NTP rates, which is why the paper
+        finds NTP attacks the most potent booter product.
+        """
+        if rate_multiplier <= 0:
+            raise ValueError("rate_multiplier must be positive")
+        vector = vector_by_name(vector_name)
+        if not self.catalog.offers(vector_name):
+            raise ValueError(f"booter {self.name} does not offer {vector_name!r}")
+        plan = self.plan(plan_name)
+        duration_s = min(duration_s, plan.max_duration_s)
+        process = self.reflector_sets[vector_name]
+        reflector_ips = process.ips_for_day(day)
+        reflector_asns = process.asns_for_day(day)
+        # Reflectors contribute very unevenly (Fig. 1b: one AS carried
+        # 45.55% of the peering traffic of a VIP NTP attack). Lognormal
+        # weights reproduce that skew.
+        rng = seeds.child("attack-weights", self.name, vector_name, int(start_time)).rng()
+        raw = rng.lognormal(mean=0.0, sigma=1.2, size=reflector_ips.size)
+        weights = raw / raw.sum()
+        return AttackEvent(
+            booter=self.name,
+            vector=vector_name,
+            plan=plan_name,
+            victim_ip=int(victim_ip),
+            victim_asn=int(victim_asn),
+            start_time=float(start_time),
+            duration_s=float(duration_s),
+            total_pps=plan.total_packet_rate_pps * rate_multiplier,
+            reflector_ips=reflector_ips,
+            reflector_asns=reflector_asns,
+            reflector_weights=weights,
+        )
+
+    def expected_attack_gbps(self, vector_name: str, plan_name: str) -> float:
+        """Analytic victim-side rate of an attack: pps x mean response size."""
+        vector = vector_by_name(vector_name)
+        plan = self.plan(plan_name)
+        return plan.total_packet_rate_pps * vector.mean_response_size * 8 / 1e9

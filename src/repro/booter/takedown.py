@@ -1,0 +1,124 @@
+"""The FBI takedown scenario.
+
+On 2018-12-19 the FBI seized the domains of 15 booter websites. This
+module models what that seizure does — and does not do — to the market:
+
+* **Backend activity stops.** A seized service's infrastructure stops
+  scanning and verifying reflectors immediately (the domain seizure came
+  with charges against operators; backends went dark). This is the
+  component behind Figure 4's significant drops in traffic *to*
+  reflectors.
+* **Demand migrates.** Customers of seized services buy from surviving
+  booters within days; a small fraction of demand is lost for good. The
+  number of attacks and the victim-side traffic therefore barely move —
+  Figure 5's null result.
+* **Re-emergence.** Booter A had registered a spare domain in June 2018
+  and was back online days after the seizure (its Alexa re-entry on
+  December 22 is three days after the takedown); its demand recovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.booter.market import BooterMarket
+
+__all__ = ["TakedownScenario"]
+
+
+@dataclass(frozen=True)
+class TakedownScenario:
+    """Behavioural parameters of the seizure and its aftermath.
+
+    Attributes:
+        takedown_day: day index (in scenario time) of the seizure.
+        migration_halflife_days: half-life of displaced demand reappearing
+            at surviving booters.
+        permanent_demand_loss: fraction of the seized booters' demand that
+            never returns (deterred customers).
+        revived_booters: service name -> days after takedown at which the
+            service resumes under a new domain (booter A: 3 days).
+        revival_popularity_fraction: share of its old demand a revived
+            booter wins back.
+    """
+
+    takedown_day: int
+    migration_halflife_days: float = 1.0
+    permanent_demand_loss: float = 0.02
+    revived_booters: dict[str, int] = field(default_factory=lambda: {"A": 3})
+    revival_popularity_fraction: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.migration_halflife_days <= 0:
+            raise ValueError("migration halflife must be positive")
+        if not 0.0 <= self.permanent_demand_loss <= 1.0:
+            raise ValueError("permanent_demand_loss must be in [0, 1]")
+        if not 0.0 <= self.revival_popularity_fraction <= 1.0:
+            raise ValueError("revival_popularity_fraction must be in [0, 1]")
+        for name, delay in self.revived_booters.items():
+            if delay < 0:
+                raise ValueError(f"revival delay for {name} cannot be negative")
+
+    # -- backend activity ----------------------------------------------------
+
+    def backend_activity(self, market: BooterMarket, day: int) -> dict[str, float]:
+        """Scan-activity multiplier per service on ``day``.
+
+        Seized services stop scanning at the takedown and stay dark; a
+        revived service resumes scanning when its new domain goes live.
+        """
+        activity: dict[str, float] = {}
+        for name, service in market.services.items():
+            if not service.catalog.seized or day < self.takedown_day:
+                activity[name] = 1.0
+                continue
+            revival_delay = self.revived_booters.get(name)
+            if revival_delay is not None and day >= self.takedown_day + revival_delay:
+                activity[name] = self.revival_popularity_fraction
+            else:
+                activity[name] = 0.0
+        return activity
+
+    # -- demand --------------------------------------------------------------
+
+    def demand_weights(self, market: BooterMarket, day: int) -> dict[str, float]:
+        """Demand share per service on ``day`` (unnormalized).
+
+        Before the takedown these are the intrinsic popularities. After,
+        seized services' demand migrates exponentially to survivors
+        (proportionally to their popularity), minus the permanent loss;
+        revived services claw back their configured fraction.
+        """
+        base = {name: s.popularity for name, s in market.services.items()}
+        if day < self.takedown_day:
+            return base
+        days_since = day - self.takedown_day
+        migrated_frac = 1.0 - 2.0 ** (-days_since / self.migration_halflife_days)
+
+        weights: dict[str, float] = {}
+        displaced = 0.0
+        survivors_total = 0.0
+        for name, service in market.services.items():
+            if service.catalog.seized:
+                revival_delay = self.revived_booters.get(name)
+                if revival_delay is not None and days_since >= revival_delay:
+                    weights[name] = base[name] * self.revival_popularity_fraction
+                    displaced += base[name] * (1.0 - self.revival_popularity_fraction)
+                else:
+                    weights[name] = 0.0
+                    displaced += base[name]
+            else:
+                weights[name] = base[name]
+                survivors_total += base[name]
+        if survivors_total > 0:
+            redistributed = displaced * migrated_frac * (1.0 - self.permanent_demand_loss)
+            for name, service in market.services.items():
+                if not service.catalog.seized:
+                    weights[name] += redistributed * base[name] / survivors_total
+        return weights
+
+    def demand_scale(self, market: BooterMarket, day: int) -> float:
+        """Total demand on ``day`` relative to the pre-takedown level."""
+        weights = self.demand_weights(market, day)
+        base_total = sum(s.popularity for s in market.services.values())
+        return sum(weights.values()) / base_total if base_total else 0.0

@@ -1,0 +1,159 @@
+"""NTP DDoS classification: the optimistic and conservative filters.
+
+Section 4 of the paper derives two classifiers from the self-attacks:
+
+* **Optimistic** — amplified NTP (monlist) packets are 486/490 bytes while
+  benign NTP is under ~200 bytes; any flow on the NTP port whose mean
+  packet size exceeds 200 bytes counts as amplification traffic. Cheap,
+  per-flow, but scanning/monitoring of monlists and odd applications on
+  port 123 contaminate it.
+* **Conservative** — per *destination*: peak traffic above 1 Gbps AND
+  more than 10 distinct amplifiers. High precision at the cost of
+  missing small attacks; the paper uses it for the Figure 5 null result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.flows.records import FlowTable
+from repro.flows.timeseries import DestinationStats, per_destination_stats
+from repro.protocols.amplification import UDP
+
+__all__ = ["ClassifierThresholds", "OptimisticClassifier", "ConservativeClassifier"]
+
+
+@dataclass(frozen=True)
+class ClassifierThresholds:
+    """Tunable thresholds shared by the classifiers.
+
+    Attributes:
+        port: reflector-side UDP port (123 for NTP).
+        min_mean_packet_size: optimistic rule — flows whose mean packet
+            size exceeds this are amplification candidates (exclusive
+            bound, the paper's "> 200 bytes").
+        min_peak_gbps: conservative rule (a) — peak one-minute traffic to
+            the destination must exceed this.
+        min_sources: conservative rule (b) — number of distinct amplifiers
+            must exceed this (strictly more than 10 in the paper).
+    """
+
+    port: int = 123
+    min_mean_packet_size: float = 200.0
+    min_peak_gbps: float = 1.0
+    min_sources: int = 10
+
+    def __post_init__(self) -> None:
+        if not 0 < self.port < 65536:
+            raise ValueError(f"port out of range: {self.port}")
+        if self.min_mean_packet_size < 0:
+            raise ValueError("min_mean_packet_size cannot be negative")
+        if self.min_peak_gbps < 0:
+            raise ValueError("min_peak_gbps cannot be negative")
+        if self.min_sources < 0:
+            raise ValueError("min_sources cannot be negative")
+
+
+class OptimisticClassifier:
+    """Per-flow amplification filter (port + packet-size threshold)."""
+
+    def __init__(self, thresholds: ClassifierThresholds = ClassifierThresholds()) -> None:
+        self.thresholds = thresholds
+
+    def amplification_flows(self, table: FlowTable) -> FlowTable:
+        """Flows from reflectors to victims that look amplified."""
+        return table.select(
+            proto=UDP,
+            src_port=self.thresholds.port,
+            min_packet_size=self.thresholds.min_mean_packet_size,
+        )
+
+    def benign_flows(self, table: FlowTable) -> FlowTable:
+        """The complement on the same port (likely-benign NTP)."""
+        on_port = table.select(proto=UDP, src_port=self.thresholds.port)
+        return on_port.select(max_packet_size=self.thresholds.min_mean_packet_size)
+
+    def victim_destinations(self, table: FlowTable) -> np.ndarray:
+        """Unique destination addresses receiving amplification traffic."""
+        return np.unique(self.amplification_flows(table)["dst_ip"])
+
+    def packet_size_sample(self, table: FlowTable) -> np.ndarray:
+        """Per-packet size sample on the port, weighted by packet counts.
+
+        Reconstructs the packet-size distribution (Figure 2a) from flow
+        records: each flow contributes its mean packet size once per
+        packet (capped per-flow to bound memory).
+        """
+        on_port = table.select(proto=UDP, src_port=self.thresholds.port)
+        if len(on_port) == 0:
+            return np.empty(0)
+        sizes = on_port.mean_packet_sizes()
+        weights = np.minimum(on_port["packets"], 10_000).astype(np.int64)
+        return np.repeat(sizes, weights)
+
+
+class ConservativeClassifier:
+    """Per-destination filter: >1 Gbps peak AND >10 amplifiers.
+
+    Operates on :class:`~repro.flows.timeseries.DestinationStats` computed
+    from optimistically-filtered flows. ``sampling_factor`` renormalizes
+    sampled traffic rates (the IXP trace is 1-in-10k sampled) before the
+    Gbps threshold is applied; source counts are *not* renormalized — a
+    sampled trace can only undercount sources, exactly as in the paper.
+    """
+
+    def __init__(self, thresholds: ClassifierThresholds = ClassifierThresholds()) -> None:
+        self.thresholds = thresholds
+
+    def destination_mask(
+        self, stats: DestinationStats, sampling_factor: float = 1.0
+    ) -> np.ndarray:
+        if sampling_factor <= 0:
+            raise ValueError("sampling_factor must be positive")
+        peak_gbps = stats.peak_bps * sampling_factor / 1e9
+        rule_a = peak_gbps > self.thresholds.min_peak_gbps
+        rule_b = stats.unique_sources > self.thresholds.min_sources
+        return rule_a & rule_b
+
+    def classify(
+        self, stats: DestinationStats, sampling_factor: float = 1.0
+    ) -> DestinationStats:
+        """Destinations passing both conservative rules."""
+        return stats.filter(self.destination_mask(stats, sampling_factor))
+
+    def rule_reductions(
+        self, stats: DestinationStats, sampling_factor: float = 1.0
+    ) -> dict[str, float]:
+        """Fractional destination reduction per rule combination.
+
+        The paper reports: both rules cut destinations by 78%, rule (a)
+        alone by 74%, rule (b) alone by 59%.
+        """
+        if len(stats) == 0:
+            return {"rule_a_only": 0.0, "rule_b_only": 0.0, "both": 0.0}
+        if sampling_factor <= 0:
+            raise ValueError("sampling_factor must be positive")
+        peak_gbps = stats.peak_bps * sampling_factor / 1e9
+        rule_a = peak_gbps > self.thresholds.min_peak_gbps
+        rule_b = stats.unique_sources > self.thresholds.min_sources
+        n = len(stats)
+        return {
+            "rule_a_only": 1.0 - rule_a.sum() / n,
+            "rule_b_only": 1.0 - rule_b.sum() / n,
+            "both": 1.0 - (rule_a & rule_b).sum() / n,
+        }
+
+    def classify_flows(
+        self,
+        table: FlowTable,
+        bin_seconds: float = 60.0,
+        sampling_factor: float = 1.0,
+    ) -> DestinationStats:
+        """Full pipeline: optimistic flow filter -> per-destination stats
+        -> conservative destination filter."""
+        optimistic = OptimisticClassifier(self.thresholds)
+        amplified = optimistic.amplification_flows(table)
+        stats = per_destination_stats(amplified, bin_seconds=bin_seconds)
+        return self.classify(stats, sampling_factor)

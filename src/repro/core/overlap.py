@@ -1,0 +1,90 @@
+"""Reflector-set overlap across attacks (Figure 1c).
+
+The paper compares the NTP reflector sets of 16 self-attacks pairwise and
+reads off four phenomena: within-day stability, moderate multi-week
+churn, sudden whole-set replacement, and occasional cross-booter overlap.
+:func:`reflector_overlap_matrix` computes the matrix; the helper methods
+on :class:`OverlapMatrix` extract those phenomena programmatically so the
+experiment (and its tests) can assert them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["OverlapMatrix", "reflector_overlap_matrix"]
+
+
+@dataclass(frozen=True)
+class OverlapMatrix:
+    """Pairwise Jaccard overlap of labeled reflector sets.
+
+    Attributes:
+        labels: one ``(booter, date_label)`` tuple per set, in matrix order.
+        matrix: symmetric Jaccard matrix with unit diagonal.
+    """
+
+    labels: tuple[tuple[str, str], ...]
+    matrix: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.labels)
+        if self.matrix.shape != (n, n):
+            raise ValueError("matrix shape must match label count")
+
+    def overlap(self, i: int, j: int) -> float:
+        return float(self.matrix[i, j])
+
+    def pairs_of_booter(self, booter: str) -> list[tuple[int, int]]:
+        idx = [i for i, (b, _) in enumerate(self.labels) if b == booter]
+        return [(i, j) for i in idx for j in idx if i < j]
+
+    def cross_booter_pairs(self) -> list[tuple[int, int]]:
+        n = len(self.labels)
+        return [
+            (i, j)
+            for i in range(n)
+            for j in range(i + 1, n)
+            if self.labels[i][0] != self.labels[j][0]
+        ]
+
+    def same_label_date_pairs(self, booter: str, date_label: str) -> list[tuple[int, int]]:
+        idx = [
+            i
+            for i, (b, d) in enumerate(self.labels)
+            if b == booter and d == date_label
+        ]
+        return [(i, j) for i in idx for j in idx if i < j]
+
+    def mean_overlap(self, pairs: list[tuple[int, int]]) -> float:
+        if not pairs:
+            return float("nan")
+        return float(np.mean([self.matrix[i, j] for i, j in pairs]))
+
+
+def reflector_overlap_matrix(
+    sets: list[np.ndarray], labels: list[tuple[str, str]]
+) -> OverlapMatrix:
+    """Pairwise Jaccard overlap of reflector identifier arrays.
+
+    Args:
+        sets: one array of reflector identifiers (IPs or pool indices)
+            per attack.
+        labels: aligned ``(booter, date_label)`` per set.
+    """
+    if len(sets) != len(labels):
+        raise ValueError("sets and labels must align")
+    if not sets:
+        raise ValueError("need at least one reflector set")
+    uniq = [np.unique(s) for s in sets]
+    n = len(uniq)
+    matrix = np.eye(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            inter = np.intersect1d(uniq[i], uniq[j], assume_unique=True).size
+            union = uniq[i].size + uniq[j].size - inter
+            value = inter / union if union else 1.0
+            matrix[i, j] = matrix[j, i] = value
+    return OverlapMatrix(labels=tuple(labels), matrix=matrix)

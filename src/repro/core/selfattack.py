@@ -1,0 +1,93 @@
+"""Self-attack post-mortem analysis (Section 3.2).
+
+Reduces a campaign of :class:`~repro.vantage.observatory.SelfAttackMeasurement`
+objects to the quantities the paper reports: per-second scatter points for
+Figure 1(a), the VIP time series of Figure 1(b), and the in-text summary
+statistics (mean/peak Mbps, reflector and peer counts, transit share,
+total distinct reflectors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.vantage.observatory import SelfAttackMeasurement
+
+__all__ = ["SelfAttackSummary", "summarize_measurements", "fig1a_points"]
+
+
+@dataclass(frozen=True)
+class SelfAttackSummary:
+    """Campaign-level aggregates over self-attack measurements."""
+
+    n_measurements: int
+    mean_mbps: float
+    peak_mbps: float
+    mean_reflectors: float
+    max_reflectors: int
+    mean_peers: float
+    max_peers: int
+    total_unique_reflectors: int
+    mean_transit_share: float
+
+    def as_rows(self) -> list[tuple[str, float]]:
+        return [
+            ("measurements", float(self.n_measurements)),
+            ("mean Mbps", self.mean_mbps),
+            ("peak Mbps", self.peak_mbps),
+            ("mean reflectors/attack", self.mean_reflectors),
+            ("max reflectors", float(self.max_reflectors)),
+            ("mean peers/attack", self.mean_peers),
+            ("max peers", float(self.max_peers)),
+            ("total unique reflectors", float(self.total_unique_reflectors)),
+            ("mean transit share", self.mean_transit_share),
+        ]
+
+
+def summarize_measurements(measurements: list[SelfAttackMeasurement]) -> SelfAttackSummary:
+    """Aggregate a self-attack campaign.
+
+    ``mean_mbps`` averages the per-measurement mean delivered rates (as
+    the paper's "mean of 1440 Mbps" does); ``peak_mbps`` is the maximum
+    one-second rate over the whole campaign.
+    """
+    if not measurements:
+        raise ValueError("need at least one measurement")
+    means = np.array([m.mean_bps for m in measurements]) / 1e6
+    peaks = np.array([m.peak_bps for m in measurements]) / 1e6
+    reflectors = np.array([m.n_reflectors for m in measurements])
+    peers = np.array([m.n_peers for m in measurements])
+    transit_shares = np.array(
+        [m.transit_share for m in measurements if m.transit_enabled]
+    )
+    all_reflectors = np.unique(np.concatenate([m.reflector_ips for m in measurements]))
+    return SelfAttackSummary(
+        n_measurements=len(measurements),
+        mean_mbps=float(means.mean()),
+        peak_mbps=float(peaks.max()),
+        mean_reflectors=float(reflectors.mean()),
+        max_reflectors=int(reflectors.max()),
+        mean_peers=float(peers.mean()),
+        max_peers=int(peers.max()),
+        total_unique_reflectors=int(all_reflectors.size),
+        mean_transit_share=float(transit_shares.mean()) if transit_shares.size else 0.0,
+    )
+
+
+def fig1a_points(
+    measurement: SelfAttackMeasurement,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Figure 1(a) scatter points for one measurement.
+
+    Returns ``(reflectors, peers, mbps)`` — one entry per second of the
+    measurement with nonzero delivered traffic.
+    """
+    mbps = measurement.delivered_bps / 1e6
+    active = mbps > 0
+    return (
+        measurement.reflectors_per_second[active],
+        measurement.peers_per_second[active],
+        mbps[active],
+    )

@@ -1,0 +1,152 @@
+"""One-pass streaming aggregation for trace-scale analysis.
+
+The batch pipeline (:mod:`repro.core.pipeline`) keeps per-day flow tables
+long enough to reduce them; at the paper's real scale (834B flows) even
+that is generous. :class:`StreamingAnalyzer` consumes observed tables in
+a single pass and maintains every aggregate the takedown study needs:
+
+* daily packet sums per (port, direction) selector — Figure 4's input;
+* per-destination peak rates (exact) and unique amplification sources
+  (HyperLogLog) for the optimistically-classified traffic — Figure 2's
+  input, with bounded memory;
+* hourly conservative attack counts — Figure 5's input.
+
+The test suite verifies the streaming results against the batch pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.classify import ClassifierThresholds, OptimisticClassifier
+from repro.core.pipeline import TrafficSelector
+from repro.core.victims import attacks_per_hour
+from repro.flows.records import FlowTable
+from repro.flows.sketch import PerKeyCardinality
+
+__all__ = ["StreamingAnalyzer", "StreamingVictimStats"]
+
+SECONDS_PER_DAY = 86_400.0
+
+
+@dataclass(frozen=True)
+class StreamingVictimStats:
+    """Per-destination aggregates accumulated over the stream."""
+
+    destinations: np.ndarray
+    unique_sources_estimate: np.ndarray
+    peak_bps: np.ndarray
+    total_packets: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.destinations.size)
+
+
+class StreamingAnalyzer:
+    """Single-pass accumulator over per-day observed flow tables.
+
+    Args:
+        selectors: daily packet-count slices to maintain (Figure 4).
+        n_days: scenario length (day index range).
+        thresholds: classifier thresholds for the victim/hourly tracks.
+        sampling_factor: renormalization for rates (sampled exports).
+        sketch_precision: HyperLogLog precision for source counting.
+    """
+
+    def __init__(
+        self,
+        selectors: list[TrafficSelector],
+        n_days: int,
+        thresholds: ClassifierThresholds = ClassifierThresholds(),
+        sampling_factor: float = 1.0,
+        sketch_precision: int = 12,
+    ) -> None:
+        if n_days <= 0:
+            raise ValueError("n_days must be positive")
+        if sampling_factor <= 0:
+            raise ValueError("sampling_factor must be positive")
+        names = [s.name for s in selectors]
+        if len(set(names)) != len(names):
+            raise ValueError("selector names must be unique")
+        self.selectors = list(selectors)
+        self.n_days = n_days
+        self.thresholds = thresholds
+        self.sampling_factor = sampling_factor
+        self._optimistic = OptimisticClassifier(thresholds)
+        self.daily = {s.name: np.zeros(n_days) for s in selectors}
+        self.hourly_attacks = np.zeros(n_days * 24, dtype=np.int64)
+        self._sources = PerKeyCardinality(precision=sketch_precision)
+        self._peak_bytes_per_min: dict[int, float] = {}
+        self._total_packets: dict[int, int] = {}
+        self._days_seen: set[int] = set()
+
+    def ingest_day(self, day: int, observed: FlowTable) -> None:
+        """Consume one day's observed table (each day exactly once)."""
+        if not 0 <= day < self.n_days:
+            raise ValueError(f"day {day} outside [0, {self.n_days})")
+        if day in self._days_seen:
+            raise ValueError(f"day {day} ingested twice")
+        self._days_seen.add(day)
+
+        # Track 1: daily per-selector packet sums.
+        for selector in self.selectors:
+            self.daily[selector.name][day] = selector.packets(observed)
+
+        # Track 2: per-destination aggregates over amplification traffic.
+        amplified = self._optimistic.amplification_flows(observed)
+        if len(amplified):
+            self._sources.update(amplified["dst_ip"], amplified["src_ip"])
+            minute = (amplified["time"] // 60.0).astype(np.int64)
+            keys = amplified["dst_ip"].astype(np.int64) * (1 << 32) + minute
+            uniq, inverse = np.unique(keys, return_inverse=True)
+            per_min = np.zeros(uniq.size)
+            np.add.at(per_min, inverse, amplified["bytes"].astype(np.float64))
+            dsts = (uniq >> 32).astype(np.uint32)
+            for dst, value in zip(dsts.tolist(), per_min.tolist()):
+                if value > self._peak_bytes_per_min.get(dst, 0.0):
+                    self._peak_bytes_per_min[dst] = value
+            for dst, pkts in zip(
+                amplified["dst_ip"].tolist(), amplified["packets"].tolist()
+            ):
+                self._total_packets[dst] = self._total_packets.get(dst, 0) + pkts
+
+        # Track 3: hourly conservative attack counts.
+        hourly = attacks_per_hour(
+            observed,
+            day * SECONDS_PER_DAY,
+            (day + 1) * SECONDS_PER_DAY,
+            thresholds=self.thresholds,
+            sampling_factor=self.sampling_factor,
+        )
+        self.hourly_attacks[day * 24 : (day + 1) * 24] = hourly
+
+    # -- results -----------------------------------------------------------------
+
+    def daily_series(self, name: str) -> np.ndarray:
+        try:
+            return self.daily[name]
+        except KeyError:
+            raise KeyError(f"no selector {name!r} (have {sorted(self.daily)})") from None
+
+    def victim_stats(self) -> StreamingVictimStats:
+        """Accumulated per-destination aggregates (sources are estimates)."""
+        destinations = np.array(sorted(self._peak_bytes_per_min), dtype=np.uint32)
+        peaks = np.array(
+            [self._peak_bytes_per_min[int(d)] for d in destinations]
+        )
+        sources = np.array([self._sources.estimate(int(d)) for d in destinations])
+        packets = np.array(
+            [self._total_packets[int(d)] for d in destinations], dtype=np.int64
+        )
+        return StreamingVictimStats(
+            destinations=destinations,
+            unique_sources_estimate=sources,
+            peak_bps=peaks * 8.0 / 60.0,
+            total_packets=packets,
+        )
+
+    def daily_attack_counts(self) -> np.ndarray:
+        """Per-day sums of the hourly conservative counts (Figure 5)."""
+        return self.hourly_attacks.reshape(self.n_days, 24).sum(axis=1)

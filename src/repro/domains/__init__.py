@@ -1,0 +1,30 @@
+"""The DNS and HTTPS observatory.
+
+Section 5.1 of the paper tracks booter *websites*: weekly crawls of all
+.com/.net/.org zones, keyword matching plus manual verification to find
+booter domains, and daily Alexa Top-1M snapshots to rank them. This
+package simulates that control-plane view: a synthetic domain universe
+with booter and benign registrations, a keyword crawler with the same
+false-positive problem real keyword matching has ("bootstrap.com"
+contains "boot"), and an Alexa rank process that reproduces the growth of
+booter domains, the seizure collapse, and booter A's new-domain re-entry
+three days after the takedown.
+"""
+
+from repro.domains.alexa import AlexaModel, AlexaModelConfig
+from repro.domains.crawl import CrawlResult, KeywordCrawler
+from repro.domains.names import BOOTER_KEYWORDS, DomainNameGenerator
+from repro.domains.zone import DomainRecord, DomainUniverse, UniverseConfig, WebsiteSnapshot
+
+__all__ = [
+    "AlexaModel",
+    "AlexaModelConfig",
+    "BOOTER_KEYWORDS",
+    "CrawlResult",
+    "DomainNameGenerator",
+    "DomainRecord",
+    "DomainUniverse",
+    "KeywordCrawler",
+    "UniverseConfig",
+    "WebsiteSnapshot",
+]

@@ -1,0 +1,157 @@
+"""A daily Alexa-Top-1M rank process for the domain universe.
+
+Only booter domains' trajectories matter for Figure 3; the model gives
+each booter domain a rank path with the phases the paper observes:
+
+* **ramp-in** — a new booter site starts obscure (far outside the Top 1M)
+  and descends towards its base rank as it gains customers, so the number
+  of booter domains inside the Top 1M grows over the measurement period;
+* **seizure collapse** — after a seizure the rank decays geometrically
+  (the site is a DoJ banner), with a short press bump right after the
+  takedown (press reports linking to seized domains kept some of them in
+  the Top 1M for a while);
+* **revival** — a replacement domain ramps in *fast* once activated:
+  booter A's new domain hit the Top 1M three days after the seizure
+  because its customer base followed it.
+"""
+
+from __future__ import annotations
+
+import calendar
+import datetime as _dt
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.domains.zone import DomainRecord, DomainUniverse
+from repro.stats.rng import SeedSequenceTree
+from repro.timeutil import DOMAIN_EPOCH, day_index
+
+__all__ = ["AlexaModelConfig", "AlexaModel"]
+
+
+@dataclass(frozen=True)
+class AlexaModelConfig:
+    """Parameters of the rank process."""
+
+    top_list_size: int = 1_000_000
+    base_rank_median: float = 350_000.0
+    base_rank_sigma: float = 0.6
+    ramp_tau_days: float = 150.0
+    revival_ramp_tau_days: float = 1.0
+    initial_rank_multiplier: float = 8.0
+    noise_sigma: float = 0.12
+    seizure_decay_per_day: float = 1.06
+    press_bump_days: int = 5
+    press_bump_factor: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.top_list_size <= 0:
+            raise ValueError("top list size must be positive")
+        if self.seizure_decay_per_day <= 1.0:
+            raise ValueError("seizure decay must exceed 1 (ranks worsen)")
+        if not 0.0 < self.press_bump_factor <= 1.0:
+            raise ValueError("press bump factor must be in (0, 1]")
+        if self.ramp_tau_days <= 0 or self.revival_ramp_tau_days <= 0:
+            raise ValueError("ramp taus must be positive")
+
+
+class AlexaModel:
+    """Deterministic daily ranks for every booter domain in a universe."""
+
+    def __init__(
+        self,
+        universe: DomainUniverse,
+        seeds: SeedSequenceTree,
+        config: AlexaModelConfig = AlexaModelConfig(),
+        horizon_days: int = 1100,
+    ) -> None:
+        if horizon_days <= 0:
+            raise ValueError("horizon must be positive")
+        self.universe = universe
+        self.config = config
+        self.horizon_days = horizon_days
+        self._seeds = seeds
+        self._series: dict[str, np.ndarray] = {}
+
+    def _is_revival(self, record: DomainRecord) -> bool:
+        """A spare domain activated long after registration ramps in fast."""
+        return record.activated_day - record.registered_day > 90
+
+    def _compute_series(self, record: DomainRecord) -> np.ndarray:
+        cfg = self.config
+        rng = self._seeds.child("alexa", record.name).rng()
+        days = np.arange(self.horizon_days, dtype=float)
+        base_rank = rng.lognormal(np.log(cfg.base_rank_median), cfg.base_rank_sigma)
+        tau = cfg.revival_ramp_tau_days if self._is_revival(record) else cfg.ramp_tau_days
+        since_active = days - record.activated_day
+        ramp = 1.0 + (cfg.initial_rank_multiplier - 1.0) * np.exp(
+            -np.maximum(since_active, 0.0) / tau
+        )
+        rank = base_rank * ramp
+        # Before activation the site has no audience at all.
+        rank = np.where(since_active < 0, np.inf, rank)
+
+        if record.seized_day is not None:
+            since_seizure = days - record.seized_day
+            seized = since_seizure >= 0
+            decay = cfg.seizure_decay_per_day ** np.maximum(since_seizure, 0.0)
+            rank = np.where(seized, rank * decay, rank)
+            # Press bump: reports about the takedown drive clicks to the
+            # seized domain for a few days.
+            bump = seized & (since_seizure < cfg.press_bump_days)
+            rank = np.where(bump, rank * cfg.press_bump_factor, rank)
+
+        noise = rng.lognormal(0.0, cfg.noise_sigma, size=days.size)
+        finite = np.isfinite(rank)
+        rank[finite] = np.maximum(rank[finite] * noise[finite], 1.0)
+        return rank
+
+    def daily_ranks(self, domain: str) -> np.ndarray:
+        """Daily rank series over the horizon (``inf`` = unranked)."""
+        if domain not in self._series:
+            record = self.universe.get(domain)
+            if not record.is_booter:
+                raise ValueError(
+                    f"{domain!r} is benign; the model only tracks booter domains"
+                )
+            self._series[domain] = self._compute_series(record)
+        return self._series[domain]
+
+    def rank(self, domain: str, day: int) -> float:
+        if not 0 <= day < self.horizon_days:
+            raise ValueError(f"day {day} outside horizon [0, {self.horizon_days})")
+        return float(self.daily_ranks(domain)[day])
+
+    def in_top_list(self, domain: str, day: int) -> bool:
+        return self.rank(domain, day) <= self.config.top_list_size
+
+    def monthly_median_rank(self, domain: str, month: str) -> float:
+        """Median daily rank of ``domain`` over calendar month ``YYYY-MM``.
+
+        Follows the paper: booter domains are ranked by their median Alexa
+        rank over each month. Days outside the model horizon are ignored;
+        returns ``inf`` if the domain never ranks within the month.
+        """
+        year, mon = (int(x) for x in month.split("-"))
+        first = _dt.date(year, mon, 1)
+        n_days = calendar.monthrange(year, mon)[1]
+        start = day_index(first, DOMAIN_EPOCH)
+        days = [d for d in range(start, start + n_days) if 0 <= d < self.horizon_days]
+        if not days:
+            return float("inf")
+        series = self.daily_ranks(domain)[days]
+        finite = series[np.isfinite(series)]
+        if finite.size == 0:
+            return float("inf")
+        return float(np.median(finite))
+
+    def top_list_booters(self, day: int) -> list[tuple[str, float]]:
+        """Booter domains inside the Top 1M on ``day``, best rank first."""
+        ranked = []
+        for record in self.universe.booter_records():
+            r = self.rank(record.name, day)
+            if r <= self.config.top_list_size:
+                ranked.append((record.name, r))
+        ranked.sort(key=lambda item: item[1])
+        return ranked

@@ -1,0 +1,120 @@
+"""Booter blacklist generation.
+
+The paper selects its booters from the booter blacklist of Santanna et
+al. (CNSM 2016), which is maintained by repeated crawling: keyword-match
+zone snapshots, verify candidates, and track each confirmed booter domain
+over time. :class:`BooterBlacklist` reproduces that maintenance loop over
+the synthetic universe: accumulate weekly crawls, record first/last seen
+days per domain, classify current status (active / seized / offline), and
+export the list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.domains.crawl import KeywordCrawler
+from repro.domains.zone import DomainUniverse
+
+__all__ = ["BlacklistEntry", "BooterBlacklist"]
+
+
+@dataclass(frozen=True)
+class BlacklistEntry:
+    """One tracked booter domain."""
+
+    domain: str
+    first_seen_day: int
+    last_seen_day: int
+    status: str  # "active" | "seized" | "offline"
+
+    def __post_init__(self) -> None:
+        if self.last_seen_day < self.first_seen_day:
+            raise ValueError("last_seen cannot precede first_seen")
+        if self.status not in ("active", "seized", "offline"):
+            raise ValueError(f"unknown status {self.status!r}")
+
+
+class BooterBlacklist:
+    """Crawl-maintained list of verified booter domains."""
+
+    def __init__(self, universe: DomainUniverse, crawler: KeywordCrawler | None = None):
+        self.universe = universe
+        self.crawler = crawler or KeywordCrawler()
+        self._entries: dict[str, BlacklistEntry] = {}
+        self._crawl_days: list[int] = []
+
+    def run_crawl(self, day: int) -> list[str]:
+        """Run one crawl; returns domains newly added to the blacklist."""
+        if self._crawl_days and day <= self._crawl_days[-1]:
+            raise ValueError(
+                f"crawls must advance in time (last was day {self._crawl_days[-1]})"
+            )
+        result = self.crawler.crawl(self.universe, day)
+        added = []
+        for domain in result.verified:
+            record = self.universe.get(domain)
+            if record.seized_on(day):
+                status = "seized"
+            elif record.active(day):
+                status = "active"
+            else:
+                status = "offline"
+            entry = self._entries.get(domain)
+            if entry is None:
+                self._entries[domain] = BlacklistEntry(domain, day, day, status)
+                added.append(domain)
+            else:
+                self._entries[domain] = replace(entry, last_seen_day=day, status=status)
+        # Domains that vanished from the zone go offline (keep history).
+        seen_now = set(result.verified)
+        for domain, entry in self._entries.items():
+            if domain not in seen_now and entry.status == "active":
+                record = self.universe.get(domain)
+                if not record.in_zone(day):
+                    self._entries[domain] = replace(entry, status="offline")
+        self._crawl_days.append(day)
+        return sorted(added)
+
+    def run_weekly(self, start_day: int, end_day: int) -> None:
+        """Run crawls every 7 days over ``[start_day, end_day)``."""
+        if end_day <= start_day:
+            raise ValueError("empty crawl range")
+        for day in range(start_day, end_day, 7):
+            self.run_crawl(day)
+
+    # -- queries ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> list[BlacklistEntry]:
+        return sorted(self._entries.values(), key=lambda e: e.domain)
+
+    def get(self, domain: str) -> BlacklistEntry:
+        try:
+            return self._entries[domain]
+        except KeyError:
+            raise KeyError(f"{domain!r} not on the blacklist") from None
+
+    def active_domains(self) -> list[str]:
+        return sorted(d for d, e in self._entries.items() if e.status == "active")
+
+    def seized_domains(self) -> list[str]:
+        return sorted(d for d, e in self._entries.items() if e.status == "seized")
+
+    def new_since(self, day: int) -> list[str]:
+        """Domains first seen strictly after ``day`` (post-takedown finds)."""
+        return sorted(d for d, e in self._entries.items() if e.first_seen_day > day)
+
+    def export_rows(self) -> list[dict[str, str]]:
+        """Render the blacklist the way the public one is distributed."""
+        return [
+            {
+                "domain": e.domain,
+                "first_seen_day": str(e.first_seen_day),
+                "last_seen_day": str(e.last_seen_day),
+                "status": e.status,
+            }
+            for e in self.entries()
+        ]

@@ -1,0 +1,109 @@
+"""Keyword crawling and verification of booter domains.
+
+The paper's pipeline: keyword-match domain names from the weekly zone
+snapshot, visit each match over HTTPS, and manually verify that the site
+actually sells DDoS. Keyword matching alone is noisy in both directions —
+benign names contain keyword substrings, and some booters brand
+themselves without any keyword. The crawler reports all three sets so the
+experiments can quantify the trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.domains.names import BOOTER_KEYWORDS
+from repro.domains.zone import DomainRecord, DomainUniverse
+
+__all__ = ["CrawlResult", "KeywordCrawler"]
+
+
+@dataclass(frozen=True)
+class CrawlResult:
+    """Outcome of one weekly crawl.
+
+    Attributes:
+        day: snapshot day.
+        candidates: domains whose *name* matched the keyword list.
+        verified: candidates confirmed as booters by visiting the site
+            (ground truth via the landing page advertising DDoS service;
+            seized domains show the seizure banner and still verify —
+            the paper kept seized domains in its identified set).
+        false_positives: candidates that turned out benign.
+        missed_booters: booter domains in the zone the keywords missed.
+    """
+
+    day: int
+    candidates: tuple[str, ...]
+    verified: tuple[str, ...]
+    false_positives: tuple[str, ...]
+    missed_booters: tuple[str, ...]
+
+    @property
+    def precision(self) -> float:
+        return len(self.verified) / len(self.candidates) if self.candidates else 1.0
+
+    @property
+    def recall(self) -> float:
+        total = len(self.verified) + len(self.missed_booters)
+        return len(self.verified) / total if total else 1.0
+
+
+class KeywordCrawler:
+    """Keyword matcher + HTTPS verification over a domain universe."""
+
+    def __init__(self, keywords: tuple[str, ...] = BOOTER_KEYWORDS) -> None:
+        if not keywords:
+            raise ValueError("need at least one keyword")
+        self.keywords = tuple(kw.lower() for kw in keywords)
+
+    def name_matches(self, domain: str) -> bool:
+        label = domain.lower().rsplit(".", 1)[0]
+        return any(kw in label for kw in self.keywords)
+
+    def _site_verifies(self, record: DomainRecord, day: int) -> bool:
+        """Visiting the site: does it (or did it, if seized) sell DDoS?"""
+        if not record.is_booter or record.website is None:
+            return False
+        if record.seized_on(day):
+            # The seizure banner names the seized booter site: verifiable.
+            return True
+        return record.active(day) and record.website.mentions_ddos_service
+
+    def crawl(self, universe: DomainUniverse, day: int) -> CrawlResult:
+        """Run one crawl over the zone snapshot of ``day``."""
+        snapshot = universe.snapshot(day)
+        candidates: list[str] = []
+        verified: list[str] = []
+        false_positives: list[str] = []
+        missed: list[str] = []
+        for record in snapshot:
+            if self.name_matches(record.name):
+                candidates.append(record.name)
+                if self._site_verifies(record, day):
+                    verified.append(record.name)
+                else:
+                    false_positives.append(record.name)
+            elif record.is_booter and (record.active(day) or record.seized_on(day)):
+                missed.append(record.name)
+        return CrawlResult(
+            day=day,
+            candidates=tuple(sorted(candidates)),
+            verified=tuple(sorted(verified)),
+            false_positives=tuple(sorted(false_positives)),
+            missed_booters=tuple(sorted(missed)),
+        )
+
+    def newly_verified(
+        self, universe: DomainUniverse, before_day: int, after_day: int
+    ) -> tuple[str, ...]:
+        """Booter domains verified on ``after_day`` but not on ``before_day``.
+
+        This is how the paper found booter A's replacement domain after
+        the takedown: re-run the keyword selection and diff.
+        """
+        if after_day <= before_day:
+            raise ValueError("after_day must follow before_day")
+        before = set(self.crawl(universe, before_day).verified)
+        after = self.crawl(universe, after_day).verified
+        return tuple(sorted(set(after) - before))

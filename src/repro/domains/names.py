@@ -1,0 +1,89 @@
+"""Domain-name generation for the synthetic zone files.
+
+Booter sites advertise what they sell: real seized domains included
+critical-boot.com and quantumstress.net. The generator composes names the
+same way (adjective + booter keyword), with a configurable share of
+"stealth" booters whose names avoid keywords — those are the crawler's
+false negatives. Benign names occasionally embed keyword substrings
+("bootstrap", "distress"), producing the false positives that make the
+verification step necessary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BOOTER_KEYWORDS", "DomainNameGenerator"]
+
+#: The keyword list of the paper's crawl (following Santanna et al.'s
+#: booter blacklist methodology).
+BOOTER_KEYWORDS: tuple[str, ...] = ("booter", "stresser", "stress", "boot", "ddos")
+
+_ADJECTIVES = (
+    "quantum", "critical", "titanium", "ultra", "mega", "dark", "rapid",
+    "prime", "alpha", "omega", "shadow", "storm", "iron", "cyber", "nova",
+    "vortex", "apex", "fury", "ghost", "neon",
+)
+
+_BOOTER_CORES = ("booter", "stresser", "stress", "boot", "ddos", "stressing")
+
+_STEALTH_CORES = ("panel", "tools", "network", "host", "services", "labs")
+
+_BENIGN_WORDS = (
+    "garden", "kitchen", "travel", "music", "photo", "sport", "media",
+    "cloud", "shop", "forum", "daily", "global", "tech", "green", "blue",
+    "bootstrap", "distress", "restress", "bamboo", "robot", "rebooted",
+    "football", "marketing", "design", "fitness", "crypto", "gaming",
+)
+
+_TLDS = (".com", ".net", ".org")
+
+
+class DomainNameGenerator:
+    """Deterministic generator of booter-looking and benign domain names."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self._issued: set[str] = set()
+
+    def _unique(self, candidate_fn) -> str:
+        for _ in range(1000):
+            name = candidate_fn()
+            if name not in self._issued:
+                self._issued.add(name)
+                return name
+        raise RuntimeError("domain namespace exhausted")
+
+    def booter_domain(self, stealth: bool = False) -> str:
+        """A booter domain; ``stealth`` names avoid the keyword list."""
+        rng = self._rng
+
+        def candidate() -> str:
+            adjective = _ADJECTIVES[int(rng.integers(0, len(_ADJECTIVES)))]
+            cores = _STEALTH_CORES if stealth else _BOOTER_CORES
+            core = cores[int(rng.integers(0, len(cores)))]
+            sep = "-" if rng.random() < 0.4 else ""
+            suffix = str(int(rng.integers(2, 100))) if rng.random() < 0.25 else ""
+            tld = _TLDS[int(rng.integers(0, len(_TLDS)))]
+            return f"{adjective}{sep}{core}{suffix}{tld}"
+
+        return self._unique(candidate)
+
+    def benign_domain(self) -> str:
+        """A benign domain (may coincidentally contain keyword substrings)."""
+        rng = self._rng
+
+        def candidate() -> str:
+            a = _BENIGN_WORDS[int(rng.integers(0, len(_BENIGN_WORDS)))]
+            b = _BENIGN_WORDS[int(rng.integers(0, len(_BENIGN_WORDS)))]
+            suffix = str(int(rng.integers(2, 1000))) if rng.random() < 0.3 else ""
+            tld = _TLDS[int(rng.integers(0, len(_TLDS)))]
+            return f"{a}{b}{suffix}{tld}"
+
+        return self._unique(candidate)
+
+    @staticmethod
+    def contains_keyword(domain: str) -> bool:
+        """Whether the name matches the keyword list (substring match)."""
+        label = domain.rsplit(".", 1)[0]
+        return any(kw in label for kw in BOOTER_KEYWORDS)

@@ -1,0 +1,224 @@
+"""The synthetic domain universe and its weekly zone snapshots.
+
+Stands in for the paper's weekly crawls of ~140M .com/.net/.org domains.
+Only two things about that corpus matter for the study: the booter
+domains hiding in it and enough benign look-alikes to make keyword
+matching noisy. Domain histories are event-based (registration, drop,
+seizure, activation), so a snapshot at any day is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.domains.names import DomainNameGenerator
+from repro.stats.rng import SeedSequenceTree
+from repro.timeutil import DOMAIN_EPOCH, TAKEDOWN_DATE, day_index
+
+__all__ = ["WebsiteSnapshot", "DomainRecord", "UniverseConfig", "DomainUniverse"]
+
+
+@dataclass(frozen=True)
+class WebsiteSnapshot:
+    """What the HTTPS crawler sees on a domain's landing page."""
+
+    title: str
+    mentions_ddos_service: bool
+
+
+@dataclass(frozen=True)
+class DomainRecord:
+    """One domain's lifecycle in the universe.
+
+    Days are indices against :data:`repro.timeutil.DOMAIN_EPOCH`.
+
+    Attributes:
+        name: the domain name.
+        is_booter: ground truth — does a booter operate this domain.
+        booter: owning service name ("" for benign domains).
+        registered_day: registration day.
+        activated_day: day the website went live (booter A's spare domain
+            was registered in June 2018 but stayed unused for months).
+        dropped_day: day the domain left the zone (None = still there).
+        seized_day: day law enforcement seized the domain (None = never).
+        website: landing-page snapshot while active.
+    """
+
+    name: str
+    is_booter: bool
+    booter: str
+    registered_day: int
+    activated_day: int
+    dropped_day: int | None = None
+    seized_day: int | None = None
+    website: WebsiteSnapshot | None = None
+
+    def in_zone(self, day: int) -> bool:
+        """Whether the domain exists in the zone file on ``day``."""
+        if day < self.registered_day:
+            return False
+        if self.dropped_day is not None and day >= self.dropped_day:
+            return False
+        return True
+
+    def active(self, day: int) -> bool:
+        """Whether the original website is up (not seized, activated)."""
+        if not self.in_zone(day) or day < self.activated_day:
+            return False
+        return self.seized_day is None or day < self.seized_day
+
+    def seized_on(self, day: int) -> bool:
+        return self.seized_day is not None and day >= self.seized_day
+
+
+@dataclass(frozen=True)
+class UniverseConfig:
+    """Shape of the domain universe."""
+
+    n_benign: int = 4000
+    n_extra_booters: int = 40
+    stealth_booter_fraction: float = 0.15
+    booter_growth_span_days: int = 1000
+    takedown_day: int = day_index(TAKEDOWN_DATE, DOMAIN_EPOCH)
+    benign_drop_prob: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.n_benign < 0 or self.n_extra_booters < 0:
+            raise ValueError("counts cannot be negative")
+        if not 0.0 <= self.stealth_booter_fraction <= 1.0:
+            raise ValueError("stealth fraction must be in [0, 1]")
+        if self.booter_growth_span_days <= 0:
+            raise ValueError("growth span must be positive")
+
+
+class DomainUniverse:
+    """All domains the observatory could ever see.
+
+    Construction wires in the study's key domains:
+
+    * one primary domain per market booter (seized ones get
+      ``seized_day = takedown_day``);
+    * booter A's spare domain — registered ~6 months before the takedown,
+      activated 3 days after it, never seized;
+    * ``n_extra_booters`` additional booter domains whose registrations
+      spread over the growth span (the rising line of Figure 3);
+    * benign bulk, some of which trips the keyword matcher.
+    """
+
+    def __init__(
+        self,
+        seized_booters: list[str],
+        surviving_booters: list[str],
+        config: UniverseConfig,
+        seeds: SeedSequenceTree,
+        revival_delays: dict[str, int] | None = None,
+    ) -> None:
+        if set(seized_booters) & set(surviving_booters):
+            raise ValueError("a booter cannot be both seized and surviving")
+        self.config = config
+        rng = seeds.child("universe").rng()
+        namegen = DomainNameGenerator(seeds.child("names").rng())
+        revival_delays = revival_delays or {}
+        records: list[DomainRecord] = []
+
+        def booter_site(name: str) -> WebsiteSnapshot:
+            return WebsiteSnapshot(
+                title=f"{name} - best IP stresser / booter panel",
+                mentions_ddos_service=True,
+            )
+
+        # Primary domains of the market booters.
+        for booter in list(seized_booters) + list(surviving_booters):
+            stealth = rng.random() < config.stealth_booter_fraction
+            name = namegen.booter_domain(stealth=stealth)
+            registered = int(rng.integers(0, max(1, config.takedown_day - 200)))
+            records.append(
+                DomainRecord(
+                    name=name,
+                    is_booter=True,
+                    booter=booter,
+                    registered_day=registered,
+                    activated_day=registered + int(rng.integers(0, 30)),
+                    seized_day=config.takedown_day if booter in seized_booters else None,
+                    website=booter_site(name),
+                )
+            )
+
+        # Spare/revival domains (booter A: registered June 2018, unused
+        # until days after the seizure).
+        for booter, delay in revival_delays.items():
+            name = namegen.booter_domain(stealth=False)
+            registered = config.takedown_day - 185  # ~June 2018
+            records.append(
+                DomainRecord(
+                    name=name,
+                    is_booter=True,
+                    booter=booter,
+                    registered_day=registered,
+                    activated_day=config.takedown_day + delay,
+                    website=booter_site(name),
+                )
+            )
+
+        # The wider (growing) booter market beyond the studied services.
+        for i in range(config.n_extra_booters):
+            stealth = rng.random() < config.stealth_booter_fraction
+            name = namegen.booter_domain(stealth=stealth)
+            registered = int(
+                rng.integers(0, config.booter_growth_span_days)
+            )
+            records.append(
+                DomainRecord(
+                    name=name,
+                    is_booter=True,
+                    booter=f"X{i:02d}",
+                    registered_day=registered,
+                    activated_day=registered + int(rng.integers(0, 60)),
+                    website=booter_site(name),
+                )
+            )
+
+        # Benign bulk.
+        for _ in range(config.n_benign):
+            name = namegen.benign_domain()
+            registered = int(rng.integers(0, config.booter_growth_span_days))
+            dropped = None
+            if rng.random() < config.benign_drop_prob:
+                dropped = registered + int(rng.integers(30, 700))
+            records.append(
+                DomainRecord(
+                    name=name,
+                    is_booter=False,
+                    booter="",
+                    registered_day=registered,
+                    activated_day=registered,
+                    dropped_day=dropped,
+                    website=WebsiteSnapshot(title=f"welcome to {name}", mentions_ddos_service=False),
+                )
+            )
+
+        names = [r.name for r in records]
+        if len(set(names)) != len(names):
+            raise RuntimeError("duplicate domain generated")  # pragma: no cover
+        self.records: dict[str, DomainRecord] = {r.name: r for r in records}
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def get(self, name: str) -> DomainRecord:
+        try:
+            return self.records[name]
+        except KeyError:
+            raise KeyError(f"unknown domain {name!r}") from None
+
+    def snapshot(self, day: int) -> list[DomainRecord]:
+        """Zone-file snapshot: all domains present on ``day``."""
+        if day < 0:
+            raise ValueError("day must be non-negative")
+        return [r for r in self.records.values() if r.in_zone(day)]
+
+    def booter_records(self) -> list[DomainRecord]:
+        return [r for r in self.records.values() if r.is_booter]
+
+    def domains_of(self, booter: str) -> list[DomainRecord]:
+        return [r for r in self.records.values() if r.booter == booter]

@@ -1,0 +1,34 @@
+"""Booter-economy extension.
+
+The paper closes by noting that its technical parameters cannot assess
+"the health of the booter ecosystem" and motivates studying "the effects
+of law enforcement on the booter economy, e.g., on infrastructures,
+financing, or involved entities". This package takes that step: a
+customer/subscription model per booter, revenue accounting, and a family
+of interventions — the FBI-style domain seizure, a payment-channel
+intervention (Brunt et al., WEIS 2017), and operator arrests (the
+Titanium Stresser conviction) — so their economic footprints can be
+compared under one simulation.
+"""
+
+from repro.economics.customers import CustomerDynamics, CustomerPopulationModel
+from repro.economics.interventions import (
+    DomainSeizure,
+    Intervention,
+    NoIntervention,
+    OperatorArrest,
+    PaymentIntervention,
+)
+from repro.economics.simulate import EconomyReport, EconomySimulation
+
+__all__ = [
+    "CustomerDynamics",
+    "CustomerPopulationModel",
+    "DomainSeizure",
+    "EconomyReport",
+    "EconomySimulation",
+    "Intervention",
+    "NoIntervention",
+    "OperatorArrest",
+    "PaymentIntervention",
+]

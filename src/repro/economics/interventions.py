@@ -1,0 +1,175 @@
+"""Law-enforcement interventions as economic operators.
+
+Each intervention maps a day to (signup multipliers, extra churn) per
+booter. Three archetypes from the literature:
+
+* :class:`DomainSeizure` — the FBI's December 2018 action: seized
+  front-ends sign up nobody and shed customers fast; revived domains
+  (booter A) resume partially.
+* :class:`PaymentIntervention` — the PayPal action studied by Brunt,
+  Pandey & McCoy (WEIS 2017): for a window, *every* booter's signups and
+  renewals suffer, then processors/booters adapt.
+* :class:`OperatorArrest` — the Titanium Stresser conviction: one booter
+  dies permanently and publicity deters a slice of market demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.booter.market import BooterMarket
+
+__all__ = [
+    "Intervention",
+    "NoIntervention",
+    "DomainSeizure",
+    "PaymentIntervention",
+    "OperatorArrest",
+]
+
+
+class Intervention(Protocol):
+    """Maps (market, day) to per-booter economic effects."""
+
+    name: str
+
+    def signup_multipliers(self, market: BooterMarket, day: int) -> dict[str, float]: ...
+
+    def extra_churn(self, market: BooterMarket, day: int) -> dict[str, float]: ...
+
+
+@dataclass(frozen=True)
+class NoIntervention:
+    """Baseline: the market runs undisturbed."""
+
+    name: str = "none"
+
+    def signup_multipliers(self, market: BooterMarket, day: int) -> dict[str, float]:
+        return {}
+
+    def extra_churn(self, market: BooterMarket, day: int) -> dict[str, float]:
+        return {}
+
+
+@dataclass(frozen=True)
+class DomainSeizure:
+    """Seize the front-end domains of all catalogue-seized booters.
+
+    Attributes:
+        day: seizure day.
+        revived: booter name -> days until a replacement domain is live.
+        revival_signup_fraction: signup capacity of a revived booter.
+        seized_daily_churn: extra daily churn while a booter has no
+            working website (customers cannot log in to renew).
+    """
+
+    day: int
+    revived: dict[str, int] = field(default_factory=lambda: {"A": 3})
+    revival_signup_fraction: float = 0.6
+    seized_daily_churn: float = 0.25
+    name: str = "domain seizure"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.revival_signup_fraction <= 1.0:
+            raise ValueError("revival_signup_fraction must be in [0, 1]")
+        if not 0.0 <= self.seized_daily_churn <= 1.0:
+            raise ValueError("seized_daily_churn must be in [0, 1]")
+
+    def _state(self, booter: str, day: int) -> str:
+        if day < self.day:
+            return "up"
+        delay = self.revived.get(booter)
+        if delay is not None and day >= self.day + delay:
+            return "revived"
+        return "seized"
+
+    def signup_multipliers(self, market: BooterMarket, day: int) -> dict[str, float]:
+        out = {}
+        for name, service in market.services.items():
+            if not service.catalog.seized:
+                continue
+            state = self._state(name, day)
+            if state == "seized":
+                out[name] = 0.0
+            elif state == "revived":
+                out[name] = self.revival_signup_fraction
+        return out
+
+    def extra_churn(self, market: BooterMarket, day: int) -> dict[str, float]:
+        out = {}
+        for name, service in market.services.items():
+            if service.catalog.seized and self._state(name, day) == "seized":
+                out[name] = self.seized_daily_churn
+        return out
+
+
+@dataclass(frozen=True)
+class PaymentIntervention:
+    """A payment-processor crackdown hitting the whole market for a window.
+
+    During ``[day, day + duration_days)`` every booter's signups drop to
+    ``signup_fraction`` and renewals suffer ``extra_daily_churn``; after
+    the window the market adapts (alternative processors, crypto).
+    """
+
+    day: int
+    duration_days: int = 60
+    signup_fraction: float = 0.35
+    extra_daily_churn: float = 0.015
+    name: str = "payment intervention"
+
+    def __post_init__(self) -> None:
+        if self.duration_days <= 0:
+            raise ValueError("duration must be positive")
+        if not 0.0 <= self.signup_fraction <= 1.0:
+            raise ValueError("signup_fraction must be in [0, 1]")
+        if not 0.0 <= self.extra_daily_churn <= 1.0:
+            raise ValueError("extra_daily_churn must be in [0, 1]")
+
+    def _active(self, day: int) -> bool:
+        return self.day <= day < self.day + self.duration_days
+
+    def signup_multipliers(self, market: BooterMarket, day: int) -> dict[str, float]:
+        if not self._active(day):
+            return {}
+        return {name: self.signup_fraction for name in market.services}
+
+    def extra_churn(self, market: BooterMarket, day: int) -> dict[str, float]:
+        if not self._active(day):
+            return {}
+        return {name: self.extra_daily_churn for name in market.services}
+
+
+@dataclass(frozen=True)
+class OperatorArrest:
+    """Arrest one booter's operator: the service dies for good, and the
+    publicity deters a share of market-wide signups for a while."""
+
+    day: int
+    booter: str
+    deterrence_fraction: float = 0.15
+    deterrence_days: int = 45
+    name: str = "operator arrest"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.deterrence_fraction <= 1.0:
+            raise ValueError("deterrence_fraction must be in [0, 1]")
+        if self.deterrence_days < 0:
+            raise ValueError("deterrence_days cannot be negative")
+
+    def signup_multipliers(self, market: BooterMarket, day: int) -> dict[str, float]:
+        if day < self.day:
+            return {}
+        out: dict[str, float] = {self.booter: 0.0}
+        if day < self.day + self.deterrence_days:
+            for name in market.services:
+                if name != self.booter:
+                    out[name] = 1.0 - self.deterrence_fraction
+        return out
+
+    def extra_churn(self, market: BooterMarket, day: int) -> dict[str, float]:
+        if day < self.day:
+            return {}
+        # The dead service sheds its whole base quickly.
+        return {self.booter: 0.5}

@@ -1,0 +1,38 @@
+"""Experiment drivers: one per table/figure of the paper.
+
+Each driver is a function ``run(config: ExperimentConfig) -> ExperimentResult``
+that regenerates one table or figure's data. Results carry the raw series
+plus a text rendering (the repo has no plotting dependency; series are
+printed as aligned tables, the way the benchmark harness consumes them).
+
+Experiment index (see DESIGN.md for the full mapping):
+
+========== ===========================================================
+id          paper content
+========== ===========================================================
+table1      the four purchased booters (protocols, prices, seizures)
+fig1a       non-VIP self-attacks: Mbps vs reflectors / peer ASes
+fig1b       VIP self-attacks: 20 Gbps NTP with BGP flap, 10 Gbps mcache
+fig1c       reflector-set overlap across 16 dated self-attacks
+fig2a       CDF/PDF of NTP packet sizes at the IXP
+fig2b       victims: unique sources vs peak Gbps per destination
+fig2c       CDFs of max sources and peak Gbps per destination
+fig3        booter domains in the Alexa Top 1M by month
+fig4        packets to reflectors around the takedown (wt/red metrics)
+fig5        systems under NTP attack per hour (null result)
+selfattack  Section 3.2's in-text summary numbers
+landscape   Section 4's in-text numbers (conservative-filter reductions)
+========== ===========================================================
+"""
+
+from repro.experiments.base import ExperimentConfig, ExperimentResult, format_table
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "format_table",
+    "get_experiment",
+    "run_experiment",
+]

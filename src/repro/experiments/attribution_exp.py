@@ -1,0 +1,78 @@
+"""EXTENSION experiment: does reflector-based attribution survive churn?
+
+Enroll the four booters' NTP reflector sets on day 0 (the self-attack
+knowledge), then attribute fresh attacks launched 0, 7, 30, 90 days later
+and measure how accuracy and coverage decay — quantifying the paper's
+"impossible to identify specific booter traffic at a later point in time".
+"""
+
+from __future__ import annotations
+
+from repro.core.attribution import BooterFingerprint, ReflectorAttributor
+from repro.experiments.base import (
+    ExperimentConfig,
+    ExperimentResult,
+    build_scenario,
+    format_table,
+)
+from repro.experiments.campaign import SelfAttackCampaign
+
+__all__ = ["run"]
+
+_BOOTERS = ("A", "B", "C", "D")
+_AGES = (0, 7, 30, 90)
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    """Measure attribution accuracy/coverage decay over fingerprint age."""
+    campaign = SelfAttackCampaign(build_scenario(config))
+    processes = {
+        booter: campaign._service(booter, "ntp", "era0").reflector_sets["ntp"]
+        for booter in _BOOTERS
+    }
+
+    fingerprints = [
+        BooterFingerprint(booter, process.ips_for_day(0), enrolled_day=0)
+        for booter, process in processes.items()
+    ]
+    attributor = ReflectorAttributor(fingerprints, min_score=0.2)
+
+    rows = []
+    decay = {}
+    for age in _AGES:
+        attacks = [(booter, processes[booter].ips_for_day(age)) for booter in _BOOTERS]
+        accuracy, coverage = attributor.accuracy(attacks)
+        decay[age] = (accuracy, coverage)
+        rows.append([f"{age} days", f"{accuracy * 100:.0f}%", f"{coverage * 100:.0f}%"])
+
+    # A whole-list replacement (new era) defeats attribution immediately.
+    replaced = campaign._service("B", "ntp", "era1").reflector_sets["ntp"]
+    outcome = attributor.attribute(replaced.ips_for_day(0))
+    rows.append(
+        ["B after list replacement", "-", "attributed" if outcome.attributed else "unattributed"]
+    )
+
+    table = format_table(["fingerprint age", "accuracy", "coverage"], rows)
+    return ExperimentResult(
+        experiment_id="attribution",
+        title="EXTENSION: reflector-fingerprint attribution decay",
+        data={"decay": decay, "replacement_outcome": outcome},
+        tables=[table],
+        paper_vs_measured=[
+            (
+                "same-day attribution works",
+                "implied (same-day sets stable)",
+                f"accuracy {decay[0][0] * 100:.0f}% / coverage {decay[0][1] * 100:.0f}%",
+            ),
+            (
+                "attribution at a later point in time",
+                "impossible (Section 3.2)",
+                f"coverage falls to {decay[90][1] * 100:.0f}% after 90 days",
+            ),
+            (
+                "list replacement defeats attribution",
+                "implied (sudden new sets)",
+                "yes" if not outcome.attributed else "no",
+            ),
+        ],
+    )

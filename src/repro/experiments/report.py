@@ -1,0 +1,53 @@
+"""Markdown report writing for experiment results.
+
+Turns :class:`~repro.experiments.base.ExperimentResult` objects into a
+single markdown document in the EXPERIMENTS.md style (one section per
+experiment, a paper-vs-measured table each), so regenerated results can
+be archived or diffed against the committed ledger.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["result_to_markdown", "write_report"]
+
+
+def _md_escape(text: str) -> str:
+    return text.replace("|", "\\|")
+
+
+def result_to_markdown(result: ExperimentResult) -> str:
+    """One experiment as a markdown section."""
+    lines = [f"## {result.experiment_id} — {_md_escape(result.title)}", ""]
+    if result.paper_vs_measured:
+        lines.append("| metric | paper | measured |")
+        lines.append("|---|---|---|")
+        for metric, paper, measured in result.paper_vs_measured:
+            lines.append(
+                f"| {_md_escape(metric)} | {_md_escape(paper)} | {_md_escape(measured)} |"
+            )
+        lines.append("")
+    for table in result.tables:
+        lines.append("```")
+        lines.append(table)
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(
+    results: list[ExperimentResult],
+    path: str | Path,
+    title: str = "Regenerated results",
+) -> Path:
+    """Write all ``results`` into one markdown file; returns the path."""
+    if not results:
+        raise ValueError("need at least one result")
+    path = Path(path)
+    sections = [f"# {title}", ""]
+    sections.extend(result_to_markdown(r) for r in results)
+    path.write_text("\n".join(sections))
+    return path

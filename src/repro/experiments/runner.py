@@ -1,0 +1,67 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    repro-experiments fig4                 # one experiment, small preset
+    repro-experiments all --preset paper   # everything at paper scale
+    repro-experiments fig1a fig1b --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.base import ExperimentConfig
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["main"]
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate tables/figures of 'DDoS Hide & Seek' (IMC 2019).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"experiment ids, or 'all'; known: {', '.join(sorted(EXPERIMENTS))}",
+    )
+    parser.add_argument("--preset", choices=("small", "paper"), default="small")
+    parser.add_argument("--seed", type=int, default=2018)
+    parser.add_argument(
+        "--output",
+        help="also write a markdown report of all results to this path",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: run the requested experiments, print their reports."""
+    args = _parser().parse_args(argv)
+    ids = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    config = ExperimentConfig(preset=args.preset, seed=args.seed)
+    results = []
+    for experiment_id in ids:
+        start = time.perf_counter()
+        result = run_experiment(experiment_id, config)
+        elapsed = time.perf_counter() - start
+        results.append(result)
+        print(result.render())
+        print(f"\n[{experiment_id} completed in {elapsed:.1f}s]\n")
+    if args.output:
+        from repro.experiments.report import write_report
+
+        path = write_report(results, args.output)
+        print(f"report written to {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

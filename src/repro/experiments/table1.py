@@ -1,0 +1,47 @@
+"""Table 1: the booters purchased for the self-attack study."""
+
+from __future__ import annotations
+
+from repro.booter.catalog import BOOTER_CATALOG, catalog_table_rows
+from repro.experiments.base import ExperimentConfig, ExperimentResult, format_table
+
+__all__ = ["run"]
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    """Regenerate Table 1 (the purchased booter catalogue)."""
+    rows = catalog_table_rows()
+    table = format_table(
+        ["booter", "seized", "months", "ntp", "dns", "cldap", "memcached", "non-VIP", "VIP"],
+        [
+            [
+                r["booter"],
+                r["seized"],
+                r["months"],
+                r["ntp"],
+                r["dns"],
+                r["cldap"],
+                r["memcached"],
+                r["non_vip_usd"],
+                r["vip_usd"],
+            ]
+            for r in rows
+        ],
+    )
+    seized = sorted(n for n, e in BOOTER_CATALOG.items() if e.seized)
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Booters used to attack our measurement AS",
+        data={"rows": rows, "seized": seized},
+        tables=[table],
+        paper_vs_measured=[
+            ("booters purchased", "4 (A-D)", f"{len(rows)} ({', '.join(r['booter'] for r in rows)})"),
+            ("seized by the FBI", "A, B", ", ".join(seized)),
+            ("booter B VIP price", "$178.84", f"${BOOTER_CATALOG['B'].price_vip_usd:.2f}"),
+            (
+                "protocols offered by A/B",
+                "NTP, DNS, CLDAP, memcached",
+                ", ".join(BOOTER_CATALOG["A"].protocols),
+            ),
+        ],
+    )

@@ -1,0 +1,69 @@
+"""CSV import/export of flow tables.
+
+The on-disk format is a plain CSV with a fixed header matching the
+:data:`repro.flows.records.SCHEMA` column order, with IPs in dotted-quad
+form for interoperability with standard flow tooling (nfdump CSV exports
+use the same shape). Writing is streamed; reading validates the header.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.flows.records import SCHEMA, FlowTable
+from repro.netmodel.addressing import format_ip, parse_ip
+
+__all__ = ["write_flows_csv", "read_flows_csv"]
+
+_HEADER = list(SCHEMA)
+_IP_COLUMNS = {"src_ip", "dst_ip"}
+
+
+def write_flows_csv(table: FlowTable, path: str | Path) -> int:
+    """Write ``table`` to ``path``; returns the number of rows written."""
+    path = Path(path)
+    cols = {name: table[name] for name in _HEADER}
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_HEADER)
+        for i in range(len(table)):
+            row = []
+            for name in _HEADER:
+                value = cols[name][i]
+                if name in _IP_COLUMNS:
+                    row.append(format_ip(int(value)))
+                elif name == "time":
+                    row.append(repr(float(value)))
+                else:
+                    row.append(int(value))
+            writer.writerow(row)
+    return len(table)
+
+
+def read_flows_csv(path: str | Path) -> FlowTable:
+    """Read a flow CSV produced by :func:`write_flows_csv`."""
+    path = Path(path)
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty (no header)") from None
+        if header != _HEADER:
+            raise ValueError(
+                f"{path} has unexpected header {header!r}; expected {_HEADER!r}"
+            )
+        raw: list[list[str]] = [row for row in reader if row]
+    columns: dict[str, np.ndarray] = {}
+    for j, name in enumerate(_HEADER):
+        values = [row[j] for row in raw]
+        if name in _IP_COLUMNS:
+            columns[name] = np.array([parse_ip(v) for v in values], dtype=SCHEMA[name])
+        elif name == "time":
+            columns[name] = np.array([float(v) for v in values], dtype=SCHEMA[name])
+        else:
+            columns[name] = np.array([int(v) for v in values], dtype=SCHEMA[name])
+    return FlowTable(columns)

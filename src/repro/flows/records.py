@@ -1,0 +1,282 @@
+"""Columnar flow records.
+
+A :class:`FlowTable` holds one column per flow attribute as a numpy array,
+which keeps multi-million-flow traces workable in pure Python. The schema
+mirrors what the paper's vantage points actually export:
+
+======== =========== ====================================================
+column    dtype       meaning
+======== =========== ====================================================
+time      float64     flow start, seconds since epoch
+src_ip    uint32      source address (possibly anonymized)
+dst_ip    uint32      destination address (possibly anonymized)
+proto     uint8       IP protocol (17 = UDP)
+src_port  uint16      transport source port
+dst_port  uint16      transport destination port
+packets   int64       packet count (post-sampling if sampled)
+bytes     int64       byte count (post-sampling if sampled)
+src_asn   int64       origin AS of src_ip (-1 unknown)
+dst_asn   int64       origin AS of dst_ip (-1 unknown)
+peer_asn  int64       AS handing the flow to the observer (-1 unknown)
+======== =========== ====================================================
+
+``peer_asn`` models NetFlow's ingress-interface metadata at AS granularity
+— it is how the paper counts "peers handing over attack traffic".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+import numpy as np
+
+__all__ = ["FlowRecord", "FlowTable", "SCHEMA"]
+
+SCHEMA: dict[str, np.dtype] = {
+    "time": np.dtype(np.float64),
+    "src_ip": np.dtype(np.uint32),
+    "dst_ip": np.dtype(np.uint32),
+    "proto": np.dtype(np.uint8),
+    "src_port": np.dtype(np.uint16),
+    "dst_port": np.dtype(np.uint16),
+    "packets": np.dtype(np.int64),
+    "bytes": np.dtype(np.int64),
+    "src_asn": np.dtype(np.int64),
+    "dst_asn": np.dtype(np.int64),
+    "peer_asn": np.dtype(np.int64),
+}
+
+_DEFAULTS = {"src_asn": -1, "dst_asn": -1, "peer_asn": -1}
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """One flow, as a plain record (row view of a :class:`FlowTable`)."""
+
+    time: float
+    src_ip: int
+    dst_ip: int
+    proto: int
+    src_port: int
+    dst_port: int
+    packets: int
+    bytes: int
+    src_asn: int = -1
+    dst_asn: int = -1
+    peer_asn: int = -1
+
+    @property
+    def mean_packet_size(self) -> float:
+        """Bytes per packet of the flow."""
+        return self.bytes / self.packets if self.packets else 0.0
+
+
+class FlowTable:
+    """Immutable-by-convention columnar flow trace.
+
+    Construction validates dtypes and column alignment. All transformation
+    methods return new tables; columns are never mutated in place after
+    construction (callers hold references).
+    """
+
+    __slots__ = ("_columns",)
+
+    def __init__(self, columns: Mapping[str, np.ndarray]) -> None:
+        cols: dict[str, np.ndarray] = {}
+        missing = [name for name in SCHEMA if name not in columns and name not in _DEFAULTS]
+        if missing:
+            raise ValueError(f"missing columns: {missing}")
+        unknown = [name for name in columns if name not in SCHEMA]
+        if unknown:
+            raise ValueError(f"unknown columns: {unknown}")
+        length: int | None = None
+        for name, dtype in SCHEMA.items():
+            if name in columns:
+                arr = np.asarray(columns[name])
+                if arr.ndim != 1:
+                    raise ValueError(f"column {name!r} must be 1-D")
+                arr = arr.astype(dtype, copy=False)
+            else:
+                arr = None  # filled after length is known
+            if arr is not None:
+                if length is None:
+                    length = arr.size
+                elif arr.size != length:
+                    raise ValueError(
+                        f"column {name!r} has {arr.size} rows, expected {length}"
+                    )
+            cols[name] = arr
+        if length is None:
+            length = 0
+        for name, default in _DEFAULTS.items():
+            if cols[name] is None:
+                cols[name] = np.full(length, default, dtype=SCHEMA[name])
+        self._columns = cols
+
+    # -- constructors -------------------------------------------------------
+
+    @staticmethod
+    def empty() -> "FlowTable":
+        return FlowTable({name: np.empty(0, dtype=dt) for name, dt in SCHEMA.items()})
+
+    @staticmethod
+    def concat(tables: list["FlowTable"]) -> "FlowTable":
+        """Concatenate tables (row-wise)."""
+        tables = [t for t in tables if len(t)]
+        if not tables:
+            return FlowTable.empty()
+        if len(tables) == 1:
+            return tables[0]
+        return FlowTable(
+            {
+                name: np.concatenate([t._columns[name] for t in tables])
+                for name in SCHEMA
+            }
+        )
+
+    @staticmethod
+    def from_records(records: list[FlowRecord]) -> "FlowTable":
+        cols: dict[str, np.ndarray] = {
+            name: np.array([getattr(r, name) for r in records], dtype=dt)
+            for name, dt in SCHEMA.items()
+        }
+        return FlowTable(cols)
+
+    # -- basic protocol -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self._columns["time"].size)
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise KeyError(f"no column {name!r}") from None
+
+    def __iter__(self) -> Iterator[FlowRecord]:
+        return self.to_records()
+
+    def to_records(self) -> Iterator[FlowRecord]:
+        """Iterate rows as :class:`FlowRecord` (slow; for small tables/IO)."""
+        cols = self._columns
+        for i in range(len(self)):
+            yield FlowRecord(
+                time=float(cols["time"][i]),
+                src_ip=int(cols["src_ip"][i]),
+                dst_ip=int(cols["dst_ip"][i]),
+                proto=int(cols["proto"][i]),
+                src_port=int(cols["src_port"][i]),
+                dst_port=int(cols["dst_port"][i]),
+                packets=int(cols["packets"][i]),
+                bytes=int(cols["bytes"][i]),
+                src_asn=int(cols["src_asn"][i]),
+                dst_asn=int(cols["dst_asn"][i]),
+                peer_asn=int(cols["peer_asn"][i]),
+            )
+
+    def __repr__(self) -> str:
+        return f"FlowTable({len(self)} flows)"
+
+    # -- aggregate properties ---------------------------------------------------
+
+    @property
+    def total_packets(self) -> int:
+        return int(self._columns["packets"].sum())
+
+    @property
+    def total_bytes(self) -> int:
+        return int(self._columns["bytes"].sum())
+
+    def time_span(self) -> tuple[float, float]:
+        """(min, max) flow start time; raises on an empty table."""
+        if not len(self):
+            raise ValueError("empty table has no time span")
+        t = self._columns["time"]
+        return float(t.min()), float(t.max())
+
+    def unique_sources(self) -> int:
+        return int(np.unique(self._columns["src_ip"]).size)
+
+    def unique_destinations(self) -> int:
+        return int(np.unique(self._columns["dst_ip"]).size)
+
+    def mean_packet_sizes(self) -> np.ndarray:
+        """Per-flow mean packet size in bytes (0 for empty flows)."""
+        packets = self._columns["packets"]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            sizes = np.where(packets > 0, self._columns["bytes"] / np.maximum(packets, 1), 0.0)
+        return sizes
+
+    # -- transformations -------------------------------------------------------
+
+    def filter(self, mask: np.ndarray) -> "FlowTable":
+        """Rows where ``mask`` is True."""
+        mask = np.asarray(mask)
+        if mask.dtype != np.bool_ or mask.shape != (len(self),):
+            raise ValueError("mask must be a boolean array of table length")
+        return FlowTable({name: col[mask] for name, col in self._columns.items()})
+
+    def select(
+        self,
+        proto: int | None = None,
+        src_port: int | None = None,
+        dst_port: int | None = None,
+        dst_ip: int | None = None,
+        src_asn: int | None = None,
+        time_range: tuple[float, float] | None = None,
+        min_packet_size: float | None = None,
+        max_packet_size: float | None = None,
+    ) -> "FlowTable":
+        """Convenience conjunctive filter over common criteria.
+
+        ``time_range`` is half-open ``[t0, t1)``; packet-size bounds apply
+        to per-flow mean packet sizes (``min`` inclusive via ``>`` as in the
+        paper's "> 200 bytes" rule — exclusive lower bound).
+        """
+        mask = np.ones(len(self), dtype=bool)
+        cols = self._columns
+        if proto is not None:
+            mask &= cols["proto"] == proto
+        if src_port is not None:
+            mask &= cols["src_port"] == src_port
+        if dst_port is not None:
+            mask &= cols["dst_port"] == dst_port
+        if dst_ip is not None:
+            mask &= cols["dst_ip"] == np.uint32(dst_ip)
+        if src_asn is not None:
+            mask &= cols["src_asn"] == src_asn
+        if time_range is not None:
+            t0, t1 = time_range
+            if t1 < t0:
+                raise ValueError("time_range must be ordered")
+            mask &= (cols["time"] >= t0) & (cols["time"] < t1)
+        if min_packet_size is not None or max_packet_size is not None:
+            sizes = self.mean_packet_sizes()
+            if min_packet_size is not None:
+                mask &= sizes > min_packet_size
+            if max_packet_size is not None:
+                mask &= sizes <= max_packet_size
+        return self.filter(mask)
+
+    def sort_by_time(self) -> "FlowTable":
+        order = np.argsort(self._columns["time"], kind="stable")
+        return FlowTable({name: col[order] for name, col in self._columns.items()})
+
+    def scale_counts(self, factor: float) -> "FlowTable":
+        """Multiply packet/byte counters by ``factor`` (sampling renormalization)."""
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        cols = dict(self._columns)
+        cols["packets"] = np.round(self._columns["packets"] * factor).astype(np.int64)
+        cols["bytes"] = np.round(self._columns["bytes"] * factor).astype(np.int64)
+        return FlowTable(cols)
+
+    def with_columns(self, **overrides: np.ndarray) -> "FlowTable":
+        """Replace whole columns (e.g. anonymized addresses)."""
+        cols = dict(self._columns)
+        for name, arr in overrides.items():
+            if name not in SCHEMA:
+                raise KeyError(f"no column {name!r}")
+            cols[name] = arr
+        return FlowTable(cols)

@@ -1,0 +1,167 @@
+"""Streaming cardinality sketches for trace-scale aggregation.
+
+The paper's IXP trace holds 834 *billion* flows; counting exact unique
+amplifiers per victim over months of such data is memory-prohibitive.
+:class:`HyperLogLog` implements the standard cardinality sketch (Flajolet
+et al. 2007) with the small-range linear-counting correction, and
+:class:`PerKeyCardinality` maintains one sketch per key (e.g. unique
+sources per destination) with streaming updates and mergeability —
+merge sketches from per-day passes to get the multi-month answer.
+
+The simulator itself is small enough for exact counting (and the test
+suite cross-checks the sketch against exact counts); the sketch is here
+so the pipeline scales to real traces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["HyperLogLog", "PerKeyCardinality"]
+
+# 64-bit Fibonacci-style mixer (splitmix64 finalizer) for integer keys.
+_M1 = np.uint64(0xBF58476D1CE4E5B9)
+_M2 = np.uint64(0x94D049BB133111EB)
+
+
+def _mix64(values: np.ndarray) -> np.ndarray:
+    """splitmix64 finalizer: a fast, well-distributed 64-bit hash."""
+    x = values.astype(np.uint64)
+    with np.errstate(over="ignore"):
+        x = x ^ (x >> np.uint64(30))
+        x = x * _M1
+        x = x ^ (x >> np.uint64(27))
+        x = x * _M2
+        x = x ^ (x >> np.uint64(31))
+    return x
+
+
+class HyperLogLog:
+    """HyperLogLog cardinality estimator over integer items.
+
+    Args:
+        precision: number of index bits p; the sketch uses ``2**p``
+            one-byte registers. p=12 (4 KiB) gives ~1.6% standard error.
+    """
+
+    def __init__(self, precision: int = 12) -> None:
+        if not 4 <= precision <= 18:
+            raise ValueError(f"precision must be in [4, 18], got {precision}")
+        self.precision = precision
+        self.m = 1 << precision
+        self.registers = np.zeros(self.m, dtype=np.uint8)
+        if precision == 4:
+            self._alpha = 0.673
+        elif precision == 5:
+            self._alpha = 0.697
+        elif precision == 6:
+            self._alpha = 0.709
+        else:
+            self._alpha = 0.7213 / (1.0 + 1.079 / self.m)
+
+    def add(self, items: np.ndarray | int) -> "HyperLogLog":
+        """Add one item or an array of integer items."""
+        items = np.atleast_1d(np.asarray(items, dtype=np.uint64))
+        if items.size == 0:
+            return self
+        hashed = _mix64(items)
+        idx = (hashed >> np.uint64(64 - self.precision)).astype(np.int64)
+        # Rank = position of the leftmost 1 in the remaining bits (1-based).
+        rest = (hashed << np.uint64(self.precision)) | np.uint64(
+            (1 << (self.precision - 1))
+        )
+        # Leading-zero count via bit_length: rank = lzc(rest) + 1.
+        # numpy lacks clz; compute via log2 on the (nonzero) values.
+        bit_length = np.frompyfunc(int.bit_length, 1, 1)(rest.astype(object)).astype(int)
+        rank = (64 - bit_length + 1).astype(np.uint8)
+        np.maximum.at(self.registers, idx, rank)
+        return self
+
+    def cardinality(self) -> float:
+        """Estimated number of distinct items added."""
+        registers = self.registers.astype(np.float64)
+        raw = self._alpha * self.m * self.m / np.sum(2.0 ** (-registers))
+        zeros = int((self.registers == 0).sum())
+        if raw <= 2.5 * self.m and zeros > 0:
+            # Small-range correction: linear counting.
+            return float(self.m * np.log(self.m / zeros))
+        return float(raw)
+
+    def merge(self, other: "HyperLogLog") -> "HyperLogLog":
+        """Merge ``other`` into this sketch (union semantics)."""
+        if other.precision != self.precision:
+            raise ValueError("cannot merge sketches of different precision")
+        np.maximum(self.registers, other.registers, out=self.registers)
+        return self
+
+    def copy(self) -> "HyperLogLog":
+        clone = HyperLogLog(self.precision)
+        clone.registers = self.registers.copy()
+        return clone
+
+    @property
+    def standard_error(self) -> float:
+        """Theoretical relative standard error (1.04 / sqrt(m))."""
+        return 1.04 / np.sqrt(self.m)
+
+
+class PerKeyCardinality:
+    """One HyperLogLog per key: streaming unique-X-per-Y counting.
+
+    Example: unique amplification sources per victim over months of
+    sampled flow data, fed day by day::
+
+        counter = PerKeyCardinality(precision=10)
+        for day in days:
+            table = observe(day)
+            counter.update(table["dst_ip"], table["src_ip"])
+        counter.estimate(victim_ip)
+    """
+
+    def __init__(self, precision: int = 10) -> None:
+        self.precision = precision
+        self._sketches: dict[int, HyperLogLog] = {}
+
+    def update(self, keys: np.ndarray, items: np.ndarray) -> None:
+        """Add ``items[i]`` to the sketch of ``keys[i]`` for all i."""
+        keys = np.asarray(keys)
+        items = np.asarray(items)
+        if keys.shape != items.shape:
+            raise ValueError("keys and items must align")
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        sorted_items = items[order]
+        boundaries = np.nonzero(np.diff(sorted_keys))[0] + 1
+        starts = np.concatenate([[0], boundaries])
+        ends = np.concatenate([boundaries, [sorted_keys.size]])
+        for start, end in zip(starts, ends):
+            if start == end:
+                continue
+            key = int(sorted_keys[start])
+            sketch = self._sketches.get(key)
+            if sketch is None:
+                sketch = self._sketches[key] = HyperLogLog(self.precision)
+            sketch.add(sorted_items[start:end])
+
+    def estimate(self, key: int) -> float:
+        """Estimated distinct items seen for ``key`` (0.0 if unseen)."""
+        sketch = self._sketches.get(int(key))
+        return sketch.cardinality() if sketch is not None else 0.0
+
+    def keys(self) -> list[int]:
+        return sorted(self._sketches)
+
+    def merge(self, other: "PerKeyCardinality") -> "PerKeyCardinality":
+        """Union-merge another per-key counter (e.g. another day's pass)."""
+        if other.precision != self.precision:
+            raise ValueError("cannot merge counters of different precision")
+        for key, sketch in other._sketches.items():
+            mine = self._sketches.get(key)
+            if mine is None:
+                self._sketches[key] = sketch.copy()
+            else:
+                mine.merge(sketch)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._sketches)

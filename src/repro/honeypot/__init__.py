@@ -1,0 +1,19 @@
+"""Amplification honeypots (AmpPot-style).
+
+The paper's related work leans on amplification honeypots: AmpPot
+(Kraemer et al., RAID 2015) monitors attacks by answering amplification
+probes slowly, and Krupp et al. (RAID 2017) attribute attacks to booters
+from which honeypots each attack hits. This package simulates such a
+deployment inside the reflector pool: honeypot addresses get adopted
+into booters' working sets like any other reflector, observe the spoofed
+trigger streams, and report attack sightings — enabling coverage and
+attribution studies against simulation ground truth.
+"""
+
+from repro.honeypot.amppot import (
+    HoneypotDeployment,
+    HoneypotObservation,
+    coverage_curve,
+)
+
+__all__ = ["HoneypotDeployment", "HoneypotObservation", "coverage_curve"]

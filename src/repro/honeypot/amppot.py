@@ -1,0 +1,145 @@
+"""AmpPot-style honeypot deployment and attack observation.
+
+A deployment converts a random subset of the reflector pool into
+honeypots. Booters discover reflectors by scanning the pool, so honeypot
+addresses end up in working sets with probability proportional to the
+deployment size — and every attack whose reflector set contains a
+honeypot is *observed*: the honeypot receives the spoofed triggers, i.e.
+it learns the victim (the spoofed source), the start time, the vector,
+and the per-honeypot request rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.booter.attack import AttackEvent
+from repro.booter.reflectors import ReflectorPool
+from repro.protocols.amplification import vector_by_name
+from repro.stats.rng import SeedSequenceTree
+
+__all__ = ["HoneypotObservation", "HoneypotDeployment", "coverage_curve"]
+
+
+@dataclass(frozen=True)
+class HoneypotObservation:
+    """One attack as seen by the deployment."""
+
+    victim_ip: int
+    vector: str
+    start_time: float
+    duration_s: float
+    honeypots_hit: int
+    observed_request_pps: float
+
+    def __post_init__(self) -> None:
+        if self.honeypots_hit <= 0:
+            raise ValueError("an observation implies at least one honeypot hit")
+
+
+class HoneypotDeployment:
+    """A set of honeypot addresses inside a reflector pool."""
+
+    def __init__(
+        self,
+        pool: ReflectorPool,
+        n_honeypots: int,
+        seeds: SeedSequenceTree,
+    ) -> None:
+        if not 0 < n_honeypots <= len(pool):
+            raise ValueError(
+                f"n_honeypots must be in [1, {len(pool)}], got {n_honeypots}"
+            )
+        self.pool = pool
+        rng = seeds.child("honeypots", pool.protocol).rng()
+        idx = np.sort(rng.choice(len(pool), size=n_honeypots, replace=False))
+        self.indices = idx
+        self.ips = pool.ips[idx]
+        self._ip_set = np.sort(self.ips)
+
+    @property
+    def n_honeypots(self) -> int:
+        return int(self.ips.size)
+
+    def observes(self, event: AttackEvent) -> bool:
+        """Whether any honeypot sits in the attack's reflector set."""
+        return bool(
+            np.intersect1d(
+                np.unique(event.reflector_ips), self._ip_set, assume_unique=True
+            ).size
+        )
+
+    def observe(self, event: AttackEvent) -> HoneypotObservation | None:
+        """The deployment's view of ``event`` (None if no honeypot hit).
+
+        The observed request rate is the trigger rate directed at the hit
+        honeypots (their share of the event's reflector weights), which
+        is what a real AmpPot logs.
+        """
+        observed_ips = np.intersect1d(
+            np.unique(event.reflector_ips), self._ip_set, assume_unique=True
+        )
+        if observed_ips.size == 0:
+            return None
+        vector = vector_by_name(event.vector)
+        hit_mask = np.isin(event.reflector_ips, observed_ips)
+        weight_share = float(event.reflector_weights[hit_mask].sum())
+        request_pps = (
+            event.total_pps / vector.response_packets_per_request
+        ) * weight_share
+        return HoneypotObservation(
+            victim_ip=event.victim_ip,
+            vector=event.vector,
+            start_time=event.start_time,
+            duration_s=event.duration_s,
+            honeypots_hit=int(observed_ips.size),
+            observed_request_pps=request_pps,
+        )
+
+    def observe_all(self, events: list[AttackEvent]) -> list[HoneypotObservation]:
+        """Observations for every observed event, in event order."""
+        out = []
+        for event in events:
+            obs = self.observe(event)
+            if obs is not None:
+                out.append(obs)
+        return out
+
+    def coverage(self, events: list[AttackEvent]) -> float:
+        """Fraction of ``events`` the deployment observes."""
+        if not events:
+            raise ValueError("need at least one event")
+        return sum(self.observes(e) for e in events) / len(events)
+
+    def expected_coverage(self, working_set_size: int) -> float:
+        """Analytic coverage for attacks using ``working_set_size``
+        reflectors drawn uniformly from the pool:
+        ``1 - C(P-H, s) / C(P, s)`` (hypergeometric miss probability)."""
+        if working_set_size <= 0:
+            raise ValueError("working_set_size must be positive")
+        pool_size = len(self.pool)
+        h = self.n_honeypots
+        if working_set_size > pool_size - h:
+            return 1.0
+        # Product form of the hypergeometric zero-hit probability.
+        miss = 1.0
+        for i in range(working_set_size):
+            miss *= (pool_size - h - i) / (pool_size - i)
+        return 1.0 - miss
+
+
+def coverage_curve(
+    pool: ReflectorPool,
+    events: list[AttackEvent],
+    deployment_sizes: list[int],
+    seeds: SeedSequenceTree,
+) -> dict[int, float]:
+    """Measured coverage per deployment size over the same event stream."""
+    if not deployment_sizes:
+        raise ValueError("need at least one deployment size")
+    return {
+        size: HoneypotDeployment(pool, size, seeds.child("curve", size)).coverage(events)
+        for size in deployment_sizes
+    }

@@ -1,0 +1,101 @@
+"""Remotely-triggered blackholing (RTBH).
+
+A victim (or its operator) announces the attacked prefix with a
+blackhole community; upstreams and the IXP's route server drop traffic to
+it at their edges. The victim goes dark — the attack traffic no longer
+congests links, at the price of completing the denial of service for the
+blackholed address. This is the trade-off the paper's observatory was
+prepared to make ("shut down the experimental AS and immediately stop
+attack traffic by withdrawing and blackholing the /24").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BlackholePolicy", "RTBHController"]
+
+
+@dataclass(frozen=True)
+class BlackholePolicy:
+    """When to trigger and release a blackhole.
+
+    Attributes:
+        trigger_bps: sustained rate that arms the trigger.
+        trigger_seconds: how long the rate must be sustained.
+        hold_seconds: minimum time a blackhole stays in place.
+        release_bps: offered rate below which the blackhole may be
+            released after the hold (attack believed over).
+        coverage: fraction of the attack actually dropped upstream
+            (RTBH via some upstreams/IXPs only reaches part of the paths).
+    """
+
+    trigger_bps: float = 5e9
+    trigger_seconds: int = 5
+    hold_seconds: int = 300
+    release_bps: float = 1e8
+    coverage: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.trigger_bps <= 0 or self.release_bps < 0:
+            raise ValueError("rates must be positive")
+        if self.release_bps >= self.trigger_bps:
+            raise ValueError("release threshold must sit below the trigger")
+        if self.trigger_seconds < 1 or self.hold_seconds < 1:
+            raise ValueError("durations must be at least 1 second")
+        if not 0.0 < self.coverage <= 1.0:
+            raise ValueError("coverage must be in (0, 1]")
+
+
+class RTBHController:
+    """Applies a blackhole policy to a per-second offered-rate series."""
+
+    def __init__(self, policy: BlackholePolicy = BlackholePolicy()) -> None:
+        self.policy = policy
+
+    def apply(self, offered_bps: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Run the controller over ``offered_bps``.
+
+        Returns ``(delivered_bps, blackholed)``: traffic actually reaching
+        the victim's network per second, and the per-second blackhole
+        state. While blackholed, ``1 - coverage`` of the attack still
+        leaks through (paths that ignore the blackhole community).
+        """
+        offered_bps = np.asarray(offered_bps, dtype=float)
+        if (offered_bps < 0).any():
+            raise ValueError("offered rates cannot be negative")
+        policy = self.policy
+        delivered = np.empty_like(offered_bps)
+        blackholed = np.zeros(offered_bps.shape, dtype=bool)
+        streak = 0
+        active = False
+        held = 0
+        for i, rate in enumerate(offered_bps):
+            if active:
+                held += 1
+                if held >= policy.hold_seconds and rate <= policy.release_bps:
+                    active = False
+                    streak = 0
+            if not active:
+                if rate >= policy.trigger_bps:
+                    streak += 1
+                    if streak >= policy.trigger_seconds:
+                        active = True
+                        held = 0
+                else:
+                    streak = 0
+            blackholed[i] = active
+            delivered[i] = rate * (1.0 - policy.coverage) if active else rate
+        return delivered, blackholed
+
+    def time_to_mitigation(self, offered_bps: np.ndarray) -> int | None:
+        """Seconds from the first over-threshold second to the blackhole
+        taking effect (None if it never triggers)."""
+        _, blackholed = self.apply(offered_bps)
+        over = np.nonzero(np.asarray(offered_bps) >= self.policy.trigger_bps)[0]
+        active = np.nonzero(blackholed)[0]
+        if over.size == 0 or active.size == 0:
+            return None
+        return int(active[0] - over[0])

@@ -1,0 +1,133 @@
+"""Reflector remediation kinetics.
+
+The paper's recommendation: "law enforcement agencies [need] to recognize
+the need of additional efforts to shut down or block open reflectors."
+This module models that effort as a daily patch/cleanup process over a
+reflector pool — with re-infection (new misconfigured hosts appear) — and
+quantifies how attack capacity decays as booters' working sets go stale.
+
+Booters churn their lists (Section 3.2), so they *route around*
+remediation: a working set loses remediated members but refills from the
+still-alive pool. Attack capacity therefore tracks the alive fraction of
+the pool, not of the original set — remediation only wins by draining the
+pool itself. That interaction is exactly why the experiment comparing
+"seize front-ends" vs "patch reflectors" is interesting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.booter.reflectors import ReflectorPool
+from repro.stats.rng import SeedSequenceTree
+
+__all__ = ["RemediationPolicy", "ReflectorRemediation"]
+
+
+@dataclass(frozen=True)
+class RemediationPolicy:
+    """Cleanup effort parameters.
+
+    Attributes:
+        daily_patch_fraction: share of currently-alive reflectors fixed
+            per day (operator notifications, upstream filtering).
+        daily_reinfection: new abusable hosts per day, as a fraction of
+            the original pool (fresh misconfigurations). 0 disables.
+        start_day: first day the campaign runs.
+    """
+
+    daily_patch_fraction: float = 0.05
+    daily_reinfection: float = 0.002
+    start_day: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.daily_patch_fraction <= 1.0:
+            raise ValueError("daily_patch_fraction must be in [0, 1]")
+        if self.daily_reinfection < 0:
+            raise ValueError("daily_reinfection cannot be negative")
+        if self.start_day < 0:
+            raise ValueError("start_day cannot be negative")
+
+
+class ReflectorRemediation:
+    """Day-indexed alive/patched state of a reflector pool."""
+
+    def __init__(
+        self,
+        pool: ReflectorPool,
+        policy: RemediationPolicy,
+        seeds: SeedSequenceTree,
+    ) -> None:
+        self.pool = pool
+        self.policy = policy
+        self._rng = seeds.child("remediation", pool.protocol).rng()
+        self._alive_by_day: list[np.ndarray] = [np.ones(len(pool), dtype=bool)]
+
+    def alive_mask(self, day: int) -> np.ndarray:
+        """Boolean alive mask of the pool on ``day`` (day 0 = all alive)."""
+        if day < 0:
+            raise ValueError("day must be non-negative")
+        while len(self._alive_by_day) <= day:
+            current = self._alive_by_day[-1].copy()
+            sim_day = len(self._alive_by_day)  # the day being computed
+            if sim_day > self.policy.start_day:
+                alive_idx = np.nonzero(current)[0]
+                n_patch = self._rng.binomial(
+                    alive_idx.size, self.policy.daily_patch_fraction
+                )
+                if n_patch:
+                    patched = self._rng.choice(alive_idx, size=n_patch, replace=False)
+                    current[patched] = False
+                dead_idx = np.nonzero(~current)[0]
+                n_new = self._rng.binomial(
+                    len(self.pool), self.policy.daily_reinfection
+                )
+                if n_new and dead_idx.size:
+                    revived = self._rng.choice(
+                        dead_idx, size=min(n_new, dead_idx.size), replace=False
+                    )
+                    current[revived] = True
+            self._alive_by_day.append(current)
+        return self._alive_by_day[day]
+
+    def alive_fraction(self, day: int) -> float:
+        mask = self.alive_mask(day)
+        return float(mask.mean())
+
+    def attack_capacity(self, day: int, working_set: np.ndarray, refill: bool = True) -> float:
+        """Attack capacity multiplier for a booter on ``day``.
+
+        ``working_set`` holds pool indices of the booter's current list.
+        Without ``refill`` the capacity is the alive share of that very
+        set (a booter that never updates its list). With ``refill`` —
+        the realistic case, given the churn of Section 3.2 — the booter
+        replaces dead members from the alive pool, so capacity is capped
+        only by overall pool exhaustion.
+        """
+        working_set = np.asarray(working_set)
+        if working_set.size == 0:
+            raise ValueError("working set cannot be empty")
+        if working_set.min() < 0 or working_set.max() >= len(self.pool):
+            raise ValueError("working set indices outside the pool")
+        mask = self.alive_mask(day)
+        set_alive = float(mask[working_set].mean())
+        if not refill:
+            return set_alive
+        alive_total = int(mask.sum())
+        # Refilling keeps the set at full strength while enough alive
+        # reflectors exist to replace dead members.
+        return min(1.0, alive_total / working_set.size)
+
+    def equilibrium_alive_fraction(self) -> float:
+        """Analytic long-run alive share.
+
+        The alive fraction ``a`` evolves as ``da = -p*a + r`` (patching
+        removes ``p*a``, reinfection adds ``r`` of the pool while dead
+        hosts exist), so the equilibrium is ``min(1, r/p)``.
+        """
+        p, r = self.policy.daily_patch_fraction, self.policy.daily_reinfection
+        if p == 0:
+            return 1.0
+        return min(1.0, r / p)

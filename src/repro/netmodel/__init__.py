@@ -1,0 +1,39 @@
+"""Internet model substrate.
+
+Provides everything the flow synthesizers and vantage points need to talk
+about the Internet: IPv4 addressing and prefixes, prefix-preserving
+anonymization (the paper's traces are anonymized), an AS registry with
+tier-1/tier-2/stub roles, a valley-free AS-level topology with a simplified
+BGP decision process, and the measurement AS's router (transit +
+multilateral IXP peering, with the transit toggle and BGP-flap behaviour
+observed in the self-attacks).
+"""
+
+from repro.netmodel.addressing import (
+    Prefix,
+    PrefixAnonymizer,
+    format_ip,
+    parse_ip,
+    random_ips_in_prefix,
+)
+from repro.netmodel.asn import ASRegistry, ASRole, AutonomousSystem
+from repro.netmodel.router import BGPSession, MeasurementRouter, RouteOrigin
+from repro.netmodel.topology import ASTopology, Relationship, TopologyConfig, build_topology
+
+__all__ = [
+    "ASRegistry",
+    "ASRole",
+    "ASTopology",
+    "AutonomousSystem",
+    "BGPSession",
+    "MeasurementRouter",
+    "Prefix",
+    "PrefixAnonymizer",
+    "Relationship",
+    "RouteOrigin",
+    "TopologyConfig",
+    "build_topology",
+    "format_ip",
+    "parse_ip",
+    "random_ips_in_prefix",
+]

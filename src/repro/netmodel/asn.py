@@ -1,0 +1,143 @@
+"""Autonomous systems and the AS registry.
+
+Each :class:`AutonomousSystem` owns a set of IPv4 prefixes and carries a
+role (tier-1, tier-2, stub, ...) plus an IXP-membership flag. The
+:class:`ASRegistry` provides lookups both ways: ASN -> AS and
+address -> owning AS (longest-prefix match over the registered prefixes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.netmodel.addressing import Prefix
+
+__all__ = ["ASRole", "AutonomousSystem", "ASRegistry"]
+
+
+class ASRole(str, Enum):
+    """Coarse AS roles used when generating the topology."""
+
+    TIER1 = "tier1"
+    TIER2 = "tier2"
+    STUB = "stub"
+    CONTENT = "content"
+    MEASUREMENT = "measurement"
+
+
+@dataclass(frozen=True)
+class AutonomousSystem:
+    """An AS: number, role, owned prefixes, and IXP membership."""
+
+    asn: int
+    role: ASRole
+    prefixes: tuple[Prefix, ...] = field(default=())
+    ixp_member: bool = False
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.asn <= 0:
+            raise ValueError(f"ASN must be positive, got {self.asn}")
+
+    def contains(self, address: int) -> bool:
+        return any(p.contains(address) for p in self.prefixes)
+
+    @property
+    def address_space(self) -> int:
+        return sum(p.size for p in self.prefixes)
+
+
+class ASRegistry:
+    """Registry of all ASes in a scenario with address -> AS resolution.
+
+    Address resolution is longest-prefix match, implemented over sorted
+    prefix boundaries for vectorized lookup of whole flow tables. Within a
+    scenario prefixes never overlap across ASes (the builder allocates
+    disjoint space), so first-match equals longest-match; the registry
+    still validates disjointness at registration time.
+    """
+
+    def __init__(self) -> None:
+        self._by_asn: dict[int, AutonomousSystem] = {}
+        self._prefix_owner: list[tuple[Prefix, int]] = []
+        self._lookup_dirty = True
+        self._starts = np.empty(0, dtype=np.uint64)
+        self._ends = np.empty(0, dtype=np.uint64)
+        self._owners = np.empty(0, dtype=np.int64)
+
+    def register(self, asys: AutonomousSystem) -> None:
+        if asys.asn in self._by_asn:
+            raise ValueError(f"ASN {asys.asn} already registered")
+        for prefix in asys.prefixes:
+            for existing, owner in self._prefix_owner:
+                if existing.contains(prefix.network) or prefix.contains(existing.network):
+                    raise ValueError(
+                        f"prefix {prefix} of AS{asys.asn} overlaps {existing} of AS{owner}"
+                    )
+        self._by_asn[asys.asn] = asys
+        for prefix in asys.prefixes:
+            self._prefix_owner.append((prefix, asys.asn))
+        self._lookup_dirty = True
+
+    def get(self, asn: int) -> AutonomousSystem:
+        try:
+            return self._by_asn[asn]
+        except KeyError:
+            raise KeyError(f"unknown ASN {asn}") from None
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._by_asn
+
+    def __len__(self) -> int:
+        return len(self._by_asn)
+
+    def __iter__(self):
+        return iter(self._by_asn.values())
+
+    @property
+    def asns(self) -> list[int]:
+        return sorted(self._by_asn)
+
+    def by_role(self, role: ASRole) -> list[AutonomousSystem]:
+        return [a for a in self._by_asn.values() if a.role == role]
+
+    def ixp_members(self) -> list[AutonomousSystem]:
+        return [a for a in self._by_asn.values() if a.ixp_member]
+
+    def _rebuild_lookup(self) -> None:
+        if not self._prefix_owner:
+            self._starts = np.empty(0, dtype=np.uint64)
+            self._ends = np.empty(0, dtype=np.uint64)
+            self._owners = np.empty(0, dtype=np.int64)
+            self._lookup_dirty = False
+            return
+        rows = sorted(
+            (p.network, p.network + p.size, asn) for p, asn in self._prefix_owner
+        )
+        self._starts = np.array([r[0] for r in rows], dtype=np.uint64)
+        self._ends = np.array([r[1] for r in rows], dtype=np.uint64)
+        self._owners = np.array([r[2] for r in rows], dtype=np.int64)
+        self._lookup_dirty = False
+
+    def resolve_address(self, address: int) -> int | None:
+        """ASN owning ``address``, or ``None`` if unowned."""
+        result = self.resolve_addresses(np.asarray([address], dtype=np.uint32))
+        return int(result[0]) if result[0] >= 0 else None
+
+    def resolve_addresses(self, addresses: np.ndarray) -> np.ndarray:
+        """Vectorized address -> ASN lookup; ``-1`` marks unowned space."""
+        if self._lookup_dirty:
+            self._rebuild_lookup()
+        addresses = np.asarray(addresses, dtype=np.uint64)
+        out = np.full(addresses.shape, -1, dtype=np.int64)
+        if self._starts.size == 0:
+            return out
+        idx = np.searchsorted(self._starts, addresses, side="right") - 1
+        valid = idx >= 0
+        cand = np.clip(idx, 0, self._starts.size - 1)
+        inside = valid & (addresses < self._ends[cand])
+        out[inside] = self._owners[cand[inside]]
+        return out

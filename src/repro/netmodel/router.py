@@ -1,0 +1,260 @@
+"""The observatory's BGP router.
+
+The paper's measurement AS announces a /24 and connects to (a) one transit
+provider and (b) all IXP members via the route server's multilateral
+peering — over one shared 10GE physical interface. This module answers,
+for any traffic source AS:
+
+* can the source reach the measurement AS at all (the /24 is only visible
+  via transit and via the route server, so with the transit link disabled
+  only members and their customer cones retain a route);
+* over which ingress the traffic arrives (transit vs which peering member
+  hands it over at the IXP);
+* and how interface saturation causes the transit BGP session to flap,
+  which produced the sudden dip in the VIP NTP attack of Figure 1(b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.netmodel.asn import ASRegistry
+from repro.netmodel.topology import ASTopology
+
+__all__ = ["RouteOrigin", "BGPSession", "MeasurementRouter"]
+
+
+class RouteOrigin(str, Enum):
+    """Which ingress a flow arrives on at the measurement AS."""
+
+    TRANSIT = "transit"
+    IXP_PEERING = "ixp_peering"
+    UNREACHABLE = "unreachable"
+
+
+@dataclass
+class BGPSession:
+    """Minimal BGP session state machine with saturation-induced flaps.
+
+    When the offered load on the shared interface exceeds ``capacity_bps``
+    for ``trigger_seconds`` consecutive seconds, keepalives are crowded out
+    and the session goes down for ``holddown_seconds``, after which it
+    re-establishes. This is the mechanism the paper gives for the dip in
+    the 20 Gbps VIP NTP attack.
+    """
+
+    capacity_bps: float
+    trigger_seconds: int = 10
+    holddown_seconds: int = 45
+
+    def __post_init__(self) -> None:
+        if self.capacity_bps <= 0:
+            raise ValueError("capacity must be positive")
+        if self.trigger_seconds < 1 or self.holddown_seconds < 1:
+            raise ValueError("trigger/holddown must be at least 1 second")
+        self._saturated_streak = 0
+        self._down_remaining = 0
+        self.flap_count = 0
+
+    @property
+    def established(self) -> bool:
+        return self._down_remaining == 0
+
+    def step(self, offered_bps: float) -> bool:
+        """Advance one second with ``offered_bps`` on the interface.
+
+        Returns whether the session is established *during* this second.
+        """
+        if offered_bps < 0:
+            raise ValueError("offered load cannot be negative")
+        if self._down_remaining > 0:
+            self._down_remaining -= 1
+            return False
+        if offered_bps > self.capacity_bps:
+            self._saturated_streak += 1
+            if self._saturated_streak >= self.trigger_seconds:
+                self._down_remaining = self.holddown_seconds
+                self._saturated_streak = 0
+                self.flap_count += 1
+                return False
+        else:
+            self._saturated_streak = 0
+        return True
+
+    def reset(self) -> None:
+        self._saturated_streak = 0
+        self._down_remaining = 0
+        self.flap_count = 0
+
+
+class MeasurementRouter:
+    """Ingress selection + reachability for the observatory AS.
+
+    Route availability at a source AS:
+
+    * IXP *members* learn the /24 from the route server;
+    * ASes in a member's *customer cone* learn it only if that member
+      exports route-server routes to its customers (many don't — modeled
+      by ``cone_export_prob`` as a deterministic per-member coin);
+    * everyone (members included) learns the transit announcement while
+      the transit link is enabled.
+
+    Route *preference* when both exist: a member prefers the peering path
+    with probability ``peering_adoption`` (deterministic per member) —
+    operators commonly keep route-server routes depreferenced, which is
+    why the paper saw ~80% of attack traffic arrive via transit even
+    though the /24 was in the route server. With transit disabled, any AS
+    holding a peering route uses it; everyone else is unreachable.
+
+    Args:
+        registry: AS registry of the scenario.
+        topology: AS topology (used for customer cones and reachability).
+        asn: the measurement AS's number.
+        transit_provider: ASN of the transit provider.
+        transit_enabled: whether the transit link is announced.
+        capacity_bps: shared physical interface capacity (10 Gbps default).
+        peering_adoption: probability a member prefers the route-server
+            route over transit when both are available.
+        cone_export_prob: probability a member exports the route-server
+            route to its customer cone.
+        decision_seed: seed of the deterministic per-member policy draws.
+    """
+
+    def __init__(
+        self,
+        registry: ASRegistry,
+        topology: ASTopology,
+        asn: int,
+        transit_provider: int,
+        transit_enabled: bool = True,
+        capacity_bps: float = 10e9,
+        peering_adoption: float = 1.0,
+        cone_export_prob: float = 1.0,
+        decision_seed: int = 0,
+        flap_trigger_seconds: int = 10,
+        flap_holddown_seconds: int = 45,
+    ) -> None:
+        if transit_provider not in registry:
+            raise KeyError(f"transit provider AS{transit_provider} not in registry")
+        for prob in (peering_adoption, cone_export_prob):
+            if not 0.0 <= prob <= 1.0:
+                raise ValueError(f"probability out of [0, 1]: {prob}")
+        self.registry = registry
+        self.topology = topology
+        self.asn = asn
+        self.transit_provider = transit_provider
+        self.transit_enabled = transit_enabled
+        self.session = BGPSession(
+            capacity_bps=capacity_bps,
+            trigger_seconds=flap_trigger_seconds,
+            holddown_seconds=flap_holddown_seconds,
+        )
+        self._members = sorted(a.asn for a in registry.ixp_members() if a.asn != asn)
+        self._member_set = set(self._members)
+        # Deterministic per-member policy: does the member prefer the
+        # route-server route, and does it export it to its customers?
+        from repro.stats.rng import derive_rng
+
+        self._prefers_peering: dict[int, bool] = {}
+        self._exports_to_cone: dict[int, bool] = {}
+        for member in self._members:
+            rng = derive_rng(decision_seed, "member-policy", member)
+            self._prefers_peering[member] = bool(rng.random() < peering_adoption)
+            self._exports_to_cone[member] = bool(rng.random() < cone_export_prob)
+        # Which member's customer cone contains each AS (for peering handover
+        # when the source is not itself a member). Smallest cone wins: the
+        # most specific member is the realistic handover point.
+        self._cone_member: dict[int, int] = {}
+        for member in sorted(
+            self._members, key=lambda m: len(topology.customer_cone(m)), reverse=True
+        ):
+            for node in topology.customer_cone(member):
+                self._cone_member[node] = member
+
+    def _peering_route(self, src_asn: int) -> int | None:
+        """The member that would deliver ``src_asn``'s traffic via the IXP,
+        or ``None`` if the source holds no route-server route."""
+        if src_asn in self._member_set:
+            return src_asn
+        member = self._cone_member.get(src_asn)
+        if member is not None and self._exports_to_cone[member]:
+            return member
+        return None
+
+    def ingress_for_source(self, src_asn: int) -> tuple[RouteOrigin, int | None]:
+        """Classify how traffic from ``src_asn`` reaches the measurement AS.
+
+        Returns ``(origin, handover_asn)`` where ``handover_asn`` is the IXP
+        member delivering the traffic for peering ingress, the transit
+        provider for transit ingress, and ``None`` when unreachable.
+        """
+        if src_asn == self.asn:
+            raise ValueError("source is the measurement AS itself")
+        member = self._peering_route(src_asn)
+        if member is not None:
+            if not self.transit_enabled:
+                return RouteOrigin.IXP_PEERING, member
+            # Both routes available: the delivering member's preference
+            # decides (cone traffic follows its member's policy).
+            if self._prefers_peering[member]:
+                return RouteOrigin.IXP_PEERING, member
+            return RouteOrigin.TRANSIT, self.transit_provider
+        if self.transit_enabled:
+            return RouteOrigin.TRANSIT, self.transit_provider
+        return RouteOrigin.UNREACHABLE, None
+
+    def ingress_for_sources(self, src_asns: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`ingress_for_source`.
+
+        Returns ``(origins, handover)`` with origins encoded as
+        0=transit, 1=ixp_peering, 2=unreachable and handover ASN (-1 when
+        unreachable).
+        """
+        src_asns = np.asarray(src_asns, dtype=np.int64)
+        origins = np.full(src_asns.shape, 2, dtype=np.int8)
+        handover = np.full(src_asns.shape, -1, dtype=np.int64)
+        unique = np.unique(src_asns)
+        for asn in unique:
+            origin, peer = self.ingress_for_source(int(asn))
+            mask = src_asns == asn
+            if origin is RouteOrigin.TRANSIT:
+                origins[mask] = 0
+            elif origin is RouteOrigin.IXP_PEERING:
+                origins[mask] = 1
+            if peer is not None:
+                handover[mask] = peer
+        return origins, handover
+
+    def deliver_timeseries(
+        self,
+        transit_bps: np.ndarray,
+        peering_bps: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Apply capacity + transit-flap dynamics to per-second offered load.
+
+        Args:
+            transit_bps: offered bps arriving via the transit link, per second.
+            peering_bps: offered bps arriving via IXP peering, per second.
+
+        Returns:
+            ``(delivered_bps, transit_up)`` — total delivered load per
+            second after capacity clipping and transit-session flaps, and
+            the boolean per-second transit session state.
+        """
+        transit_bps = np.asarray(transit_bps, dtype=float)
+        peering_bps = np.asarray(peering_bps, dtype=float)
+        if transit_bps.shape != peering_bps.shape:
+            raise ValueError("transit and peering series must align")
+        self.session.reset()
+        delivered = np.empty_like(transit_bps)
+        transit_up = np.empty(transit_bps.shape, dtype=bool)
+        for i, (t_bps, p_bps) in enumerate(zip(transit_bps, peering_bps)):
+            offered = t_bps + p_bps
+            up = self.session.step(offered) and self.transit_enabled
+            transit_up[i] = up
+            effective = (t_bps if up else 0.0) + p_bps
+            delivered[i] = min(effective, self.session.capacity_bps)
+        return delivered, transit_up

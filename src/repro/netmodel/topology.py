@@ -1,0 +1,344 @@
+"""AS-level topology with valley-free routing.
+
+The topology generator produces a three-layer hierarchy: a clique of
+tier-1 providers, tier-2 providers multihomed to tier-1s (many of them
+members of the IXP), and stub/content ASes homed to tier-2s (some also IXP
+members). Peer edges between IXP members are marked ``via_ixp`` so vantage
+points can tell which flows cross the IXP fabric.
+
+Routing follows the standard Gao–Rexford model: every AS prefers
+customer-learned routes over peer-learned over provider-learned, paths are
+valley-free, and ties break on path length then lowest next-hop ASN. Paths
+are computed per destination with a three-state BFS and memoized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.netmodel.addressing import Prefix
+from repro.netmodel.asn import ASRegistry, ASRole, AutonomousSystem
+from repro.stats.rng import SeedSequenceTree
+
+__all__ = ["Relationship", "TopologyConfig", "ASTopology", "build_topology"]
+
+
+class Relationship(str, Enum):
+    """Business relationship of a directed AS link."""
+
+    CUSTOMER_TO_PROVIDER = "c2p"
+    PEER_TO_PEER = "p2p"
+
+
+@dataclass(frozen=True)
+class TopologyConfig:
+    """Size and shape knobs of the generated topology."""
+
+    n_tier1: int = 6
+    n_tier2: int = 30
+    n_stub: int = 200
+    tier2_ixp_member_fraction: float = 0.6
+    stub_ixp_member_fraction: float = 0.15
+    tier2_providers_min: int = 1
+    tier2_providers_max: int = 3
+    stub_providers_min: int = 1
+    stub_providers_max: int = 2
+    tier2_peering_prob: float = 0.15
+    first_asn: int = 100
+    prefix_space_start: str = "11.0.0.0"
+
+    def __post_init__(self) -> None:
+        if self.n_tier1 < 2:
+            raise ValueError("need at least 2 tier-1 ASes")
+        if self.n_tier2 < 1 or self.n_stub < 1:
+            raise ValueError("need at least one tier-2 and one stub AS")
+        for frac in (self.tier2_ixp_member_fraction, self.stub_ixp_member_fraction):
+            if not 0.0 <= frac <= 1.0:
+                raise ValueError(f"fraction out of [0, 1]: {frac}")
+
+
+@dataclass
+class _RouteEntry:
+    """Best route of one AS towards the current destination."""
+
+    kind: str  # "down" | "peer" | "up"
+    length: int
+    next_hop: int  # -1 at the destination itself
+
+
+class ASTopology:
+    """An AS graph with relationship-annotated edges and route computation."""
+
+    _KIND_PREFERENCE = {"down": 0, "peer": 1, "up": 2}
+
+    def __init__(self, registry: ASRegistry) -> None:
+        self.registry = registry
+        self._providers: dict[int, set[int]] = {}
+        self._customers: dict[int, set[int]] = {}
+        self._peers: dict[int, set[int]] = {}
+        self._ixp_peer_edges: set[frozenset[int]] = set()
+        self._route_cache: dict[int, dict[int, _RouteEntry]] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def _ensure(self, asn: int) -> None:
+        if asn not in self.registry:
+            raise KeyError(f"ASN {asn} not in registry")
+        self._providers.setdefault(asn, set())
+        self._customers.setdefault(asn, set())
+        self._peers.setdefault(asn, set())
+
+    def add_customer_provider(self, customer: int, provider: int) -> None:
+        """Add a customer -> provider link."""
+        if customer == provider:
+            raise ValueError("an AS cannot be its own provider")
+        self._ensure(customer)
+        self._ensure(provider)
+        if (
+            provider in self._customers[customer]
+            or customer in self._providers[provider]
+            or provider in self._peers[customer]
+        ):
+            raise ValueError(f"conflicting relationship between {customer} and {provider}")
+        self._providers[customer].add(provider)
+        self._customers[provider].add(customer)
+        self._route_cache.clear()
+
+    def add_peering(self, a: int, b: int, via_ixp: bool = False) -> None:
+        """Add a settlement-free peer edge, optionally over the IXP fabric."""
+        if a == b:
+            raise ValueError("an AS cannot peer with itself")
+        self._ensure(a)
+        self._ensure(b)
+        if b in self._providers[a] or b in self._customers[a]:
+            raise ValueError(f"conflicting relationship between {a} and {b}")
+        self._peers[a].add(b)
+        self._peers[b].add(a)
+        if via_ixp:
+            self._ixp_peer_edges.add(frozenset((a, b)))
+        self._route_cache.clear()
+
+    # -- simple accessors ---------------------------------------------------
+
+    def providers(self, asn: int) -> set[int]:
+        return set(self._providers.get(asn, ()))
+
+    def customers(self, asn: int) -> set[int]:
+        return set(self._customers.get(asn, ()))
+
+    def peers(self, asn: int) -> set[int]:
+        return set(self._peers.get(asn, ()))
+
+    def is_ixp_peering(self, a: int, b: int) -> bool:
+        return frozenset((a, b)) in self._ixp_peer_edges
+
+    @property
+    def asns(self) -> list[int]:
+        return sorted(self._providers)
+
+    def customer_cone(self, asn: int) -> set[int]:
+        """``asn`` plus every AS reachable by repeatedly descending to customers."""
+        self._ensure(asn)
+        cone = {asn}
+        frontier = [asn]
+        while frontier:
+            node = frontier.pop()
+            for cust in self._customers.get(node, ()):
+                if cust not in cone:
+                    cone.add(cust)
+                    frontier.append(cust)
+        return cone
+
+    # -- routing ------------------------------------------------------------
+
+    def _routes_to(self, dst: int) -> dict[int, _RouteEntry]:
+        """Best valley-free route of every AS towards ``dst``."""
+        cached = self._route_cache.get(dst)
+        if cached is not None:
+            return cached
+        self._ensure(dst)
+        routes: dict[int, _RouteEntry] = {dst: _RouteEntry("down", 0, -1)}
+
+        # Phase 1: customer routes propagate up provider links (BFS by length).
+        frontier = [dst]
+        while frontier:
+            nxt: list[int] = []
+            for node in frontier:
+                entry = routes[node]
+                if entry.kind != "down":
+                    continue
+                for prov in self._providers.get(node, ()):
+                    cand = _RouteEntry("down", entry.length + 1, node)
+                    if self._better(cand, routes.get(prov)):
+                        routes[prov] = cand
+                        nxt.append(prov)
+            frontier = nxt
+
+        # Phase 2: peer routes — one lateral step from any down-route holder.
+        down_holders = [(asn, e) for asn, e in routes.items() if e.kind == "down"]
+        for holder, entry in down_holders:
+            for peer in self._peers.get(holder, ()):
+                cand = _RouteEntry("peer", entry.length + 1, holder)
+                if self._better(cand, routes.get(peer)):
+                    routes[peer] = cand
+
+        # Phase 3: provider routes propagate down customer links from any
+        # route holder, repeatedly (BFS over the remaining graph).
+        frontier = sorted(routes)
+        while frontier:
+            nxt = []
+            for node in frontier:
+                entry = routes[node]
+                for cust in self._customers.get(node, ()):
+                    cand = _RouteEntry("up", entry.length + 1, node)
+                    if self._better(cand, routes.get(cust)):
+                        routes[cust] = cand
+                        nxt.append(cust)
+            frontier = nxt
+
+        self._route_cache[dst] = routes
+        return routes
+
+    @staticmethod
+    def _better(candidate: _RouteEntry, incumbent: _RouteEntry | None) -> bool:
+        if incumbent is None:
+            return True
+        ck = ASTopology._KIND_PREFERENCE[candidate.kind]
+        ik = ASTopology._KIND_PREFERENCE[incumbent.kind]
+        if ck != ik:
+            return ck < ik
+        if candidate.length != incumbent.length:
+            return candidate.length < incumbent.length
+        return candidate.next_hop < incumbent.next_hop
+
+    def path(self, src: int, dst: int) -> list[int] | None:
+        """AS path from ``src`` to ``dst`` (inclusive), or ``None`` if unreachable."""
+        if src == dst:
+            return [src]
+        routes = self._routes_to(dst)
+        if src not in routes:
+            return None
+        path = [src]
+        node = src
+        while node != dst:
+            node = routes[node].next_hop
+            if node in path:  # pragma: no cover - defensive; BFS cannot loop
+                raise RuntimeError(f"routing loop towards {dst} at {node}")
+            path.append(node)
+        return path
+
+    def reachable(self, src: int, dst: int) -> bool:
+        return src == dst or src in self._routes_to(dst)
+
+    def path_crosses_ixp(self, src: int, dst: int) -> bool:
+        """True if the src->dst path traverses an IXP peering edge."""
+        path = self.path(src, dst)
+        if path is None:
+            return False
+        return any(self.is_ixp_peering(a, b) for a, b in zip(path, path[1:]))
+
+    def transit_asns_on_path(self, src: int, dst: int) -> list[int]:
+        """Intermediate ASes (excluding endpoints) on the src->dst path."""
+        path = self.path(src, dst)
+        return path[1:-1] if path and len(path) > 2 else []
+
+
+def _allocate_prefixes(start: int, count: int, length: int) -> tuple[list[Prefix], int]:
+    """Allocate ``count`` consecutive disjoint prefixes of ``length`` from ``start``."""
+    step = 1 << (32 - length)
+    prefixes = [Prefix(start + i * step, length) for i in range(count)]
+    return prefixes, start + count * step
+
+
+def build_topology(
+    config: TopologyConfig, seeds: SeedSequenceTree
+) -> tuple[ASRegistry, ASTopology]:
+    """Generate a registry + topology per ``config``, deterministically.
+
+    Tier-1 ASes form a full peering clique (non-IXP, private interconnects).
+    Tier-2 ASes buy transit from 1-3 tier-1s, most join the IXP, and IXP
+    members peer with each other multilaterally (route-server style: every
+    member pair gets a p2p edge marked ``via_ixp``). Stubs buy transit from
+    tier-2s; a fraction also join the IXP.
+    """
+    rng = seeds.child("topology").rng()
+    registry = ASRegistry()
+    from repro.netmodel.addressing import parse_ip
+
+    cursor = parse_ip(config.prefix_space_start)
+    asn = config.first_asn
+
+    tier1: list[int] = []
+    for i in range(config.n_tier1):
+        prefixes, cursor = _allocate_prefixes(cursor, 2, 14)
+        registry.register(
+            AutonomousSystem(asn, ASRole.TIER1, tuple(prefixes), name=f"T1-{i}")
+        )
+        tier1.append(asn)
+        asn += 1
+
+    tier2: list[int] = []
+    for i in range(config.n_tier2):
+        prefixes, cursor = _allocate_prefixes(cursor, 1, 16)
+        member = bool(rng.random() < config.tier2_ixp_member_fraction)
+        registry.register(
+            AutonomousSystem(
+                asn, ASRole.TIER2, tuple(prefixes), ixp_member=member, name=f"T2-{i}"
+            )
+        )
+        tier2.append(asn)
+        asn += 1
+
+    stubs: list[int] = []
+    for i in range(config.n_stub):
+        prefixes, cursor = _allocate_prefixes(cursor, 1, 20)
+        member = bool(rng.random() < config.stub_ixp_member_fraction)
+        registry.register(
+            AutonomousSystem(
+                asn, ASRole.STUB, tuple(prefixes), ixp_member=member, name=f"ST-{i}"
+            )
+        )
+        stubs.append(asn)
+        asn += 1
+
+    topo = ASTopology(registry)
+    for node in tier1 + tier2 + stubs:
+        topo._ensure(node)
+
+    # Tier-1 clique (private peering, not via the IXP).
+    for i, a in enumerate(tier1):
+        for b in tier1[i + 1 :]:
+            topo.add_peering(a, b, via_ixp=False)
+
+    # Tier-2 transit uplinks.
+    for t2 in tier2:
+        n_prov = int(rng.integers(config.tier2_providers_min, config.tier2_providers_max + 1))
+        for prov in rng.choice(tier1, size=min(n_prov, len(tier1)), replace=False):
+            topo.add_customer_provider(t2, int(prov))
+
+    # Stub transit uplinks.
+    for stub in stubs:
+        n_prov = int(rng.integers(config.stub_providers_min, config.stub_providers_max + 1))
+        for prov in rng.choice(tier2, size=min(n_prov, len(tier2)), replace=False):
+            topo.add_customer_provider(stub, int(prov))
+
+    # Multilateral peering via the IXP route server: all member pairs.
+    members = sorted(a.asn for a in registry.ixp_members())
+    member_set = set(members)
+    for i, a in enumerate(members):
+        for b in members[i + 1 :]:
+            if b in topo.providers(a) or b in topo.customers(a):
+                continue
+            topo.add_peering(a, b, via_ixp=True)
+
+    # Extra bilateral tier-2 peering off the IXP.
+    for i, a in enumerate(tier2):
+        for b in tier2[i + 1 :]:
+            if a in member_set and b in member_set:
+                continue  # already peering via the route server
+            if rng.random() < config.tier2_peering_prob:
+                if b not in topo.providers(a) and b not in topo.customers(a):
+                    topo.add_peering(a, b, via_ixp=False)
+
+    return registry, topo

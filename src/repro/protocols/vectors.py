@@ -1,0 +1,142 @@
+"""Concrete amplification vectors.
+
+Size and amplification parameters follow the paper's observations where it
+reports them (NTP monlist responses of 486/490 bytes made up 98.62% of the
+self-attack packets) and the standard literature values elsewhere (Rossow,
+"Amplification Hell", NDSS 2014; US-CERT TA14-017A; Akamai memcached
+spotlight 2018).
+"""
+
+from __future__ import annotations
+
+from repro.protocols.amplification import AmplificationVector, register_vector
+from repro.stats.distributions import DiscreteDistribution, TruncatedNormal
+
+__all__ = ["NTP", "DNS", "CLDAP", "MEMCACHED", "SSDP", "CHARGEN"]
+
+# NTP monlist: a 234-byte request returns up to 100 packets listing up to
+# 600 recent clients. Our self-attacks saw 486/490-byte response packets
+# almost exclusively (98.62%), with a small remainder of shorter packets.
+_NTP_RESPONSE_SIZES = DiscreteDistribution.of(
+    [(486.0, 0.55), (490.0, 0.4362), (468.0, 0.0138)]
+)
+
+NTP = register_vector(
+    AmplificationVector(
+        name="ntp",
+        port=123,
+        request_size=234.0,
+        response_size=_NTP_RESPONSE_SIZES,
+        response_packets_per_request=55.0,
+        mean_response_size=_NTP_RESPONSE_SIZES.mean(),
+        description="NTP mode-7 monlist reflection",
+    )
+)
+
+# DNS ANY/TXT amplification: responses are large (EDNS0) and often
+# fragmented into ~1400-byte packets plus a tail fragment.
+DNS = register_vector(
+    AmplificationVector(
+        name="dns",
+        port=53,
+        request_size=64.0,
+        response_size=TruncatedNormal(mean=1300.0, std=250.0, low=512.0, high=1500.0),
+        response_packets_per_request=2.5,
+        mean_response_size=1300.0,
+        description="DNS ANY/TXT open-resolver reflection",
+    )
+)
+
+# CLDAP: searchRequest against AD's connectionless LDAP; single large
+# response, BAF ~56-70.
+CLDAP = register_vector(
+    AmplificationVector(
+        name="cldap",
+        port=389,
+        request_size=52.0,
+        response_size=TruncatedNormal(mean=1450.0, std=120.0, low=800.0, high=1500.0),
+        response_packets_per_request=2.2,
+        mean_response_size=1450.0,
+        description="Connectionless LDAP searchRequest reflection",
+    )
+)
+
+# Memcached: the record-holder (BAF up to ~51000). A small "get" against a
+# planted large value streams MTU-sized packets.
+MEMCACHED = register_vector(
+    AmplificationVector(
+        name="memcached",
+        port=11211,
+        request_size=15.0,
+        response_size=TruncatedNormal(mean=1400.0, std=60.0, low=1000.0, high=1464.0),
+        response_packets_per_request=110.0,
+        mean_response_size=1400.0,
+        description="Memcached UDP get reflection",
+    )
+)
+
+# SSDP: M-SEARCH against UPnP devices; several ~300-400 byte responses.
+SSDP = register_vector(
+    AmplificationVector(
+        name="ssdp",
+        port=1900,
+        request_size=90.0,
+        response_size=TruncatedNormal(mean=350.0, std=60.0, low=200.0, high=600.0),
+        response_packets_per_request=8.0,
+        mean_response_size=350.0,
+        description="SSDP M-SEARCH reflection",
+    )
+)
+
+# Chargen: legacy character generator, ~1000-byte responses.
+CHARGEN = register_vector(
+    AmplificationVector(
+        name="chargen",
+        port=19,
+        request_size=60.0,
+        response_size=TruncatedNormal(mean=1020.0, std=100.0, low=512.0, high=1472.0),
+        response_packets_per_request=10.0,
+        mean_response_size=1020.0,
+        description="Chargen reflection",
+    )
+)
+
+# WS-Discovery: SOAP-over-UDP probe against IoT/printer endpoints;
+# multi-kilobyte XML responses, BAF up to several hundred.
+WSD = register_vector(
+    AmplificationVector(
+        name="wsd",
+        port=3702,
+        request_size=170.0,
+        response_size=TruncatedNormal(mean=1250.0, std=200.0, low=600.0, high=1500.0),
+        response_packets_per_request=4.0,
+        mean_response_size=1250.0,
+        description="WS-Discovery SOAP-over-UDP reflection",
+    )
+)
+
+# TFTP: read-request for a known file; retransmissions raise the PAF.
+TFTP = register_vector(
+    AmplificationVector(
+        name="tftp",
+        port=69,
+        request_size=50.0,
+        response_size=TruncatedNormal(mean=516.0, std=30.0, low=100.0, high=600.0),
+        response_packets_per_request=6.0,
+        mean_response_size=516.0,
+        description="TFTP read-request reflection",
+    )
+)
+
+# ARD (Apple Remote Desktop / ARMS): getinfo against port 3283.
+ARD = register_vector(
+    AmplificationVector(
+        name="ard",
+        port=3283,
+        request_size=32.0,
+        response_size=TruncatedNormal(mean=1000.0, std=150.0, low=400.0, high=1464.0),
+        response_packets_per_request=1.2,
+        mean_response_size=1000.0,
+        description="Apple Remote Desktop (ARMS) getinfo reflection",
+    )
+)

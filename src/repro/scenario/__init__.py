@@ -1,0 +1,22 @@
+"""Scenario orchestration: one object that wires the whole world together.
+
+A :class:`Scenario` builds, from a single seed, the AS topology, reflector
+pools, booter market, takedown model, benign background, vantage points,
+domain observatory and measurement AS — and serves day-by-day traffic,
+both raw (ground truth) and as observed by each vantage point.
+"""
+
+from repro.scenario.background import BackgroundConfig, BenignBackground
+from repro.scenario.config import ScenarioConfig
+from repro.scenario.scenario import DayTraffic, Scenario
+from repro.scenario.serialize import load_config, save_config
+
+__all__ = [
+    "BackgroundConfig",
+    "BenignBackground",
+    "DayTraffic",
+    "Scenario",
+    "ScenarioConfig",
+    "load_config",
+    "save_config",
+]

@@ -1,0 +1,238 @@
+"""The Scenario: build the world once, serve traffic day by day.
+
+Memory discipline: multi-month experiments never hold the whole trace.
+:meth:`Scenario.day_traffic` generates one day's ground-truth flows;
+:meth:`Scenario.observe_day` pushes them through a vantage point; callers
+keep only the aggregates they need and drop the tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.booter.attack import AttackEvent, synthesize_attack_flows, synthesize_trigger_flows
+from repro.booter.market import BooterMarket
+from repro.booter.reflectors import ReflectorPool
+from repro.booter.takedown import TakedownScenario
+from repro.flows.records import FlowTable
+from repro.netmodel.addressing import Prefix
+from repro.netmodel.asn import ASRole, AutonomousSystem
+from repro.netmodel.topology import build_topology
+from repro.scenario.background import BenignBackground
+from repro.scenario.config import ScenarioConfig
+from repro.stats.rng import SeedSequenceTree
+from repro.vantage.base import CaptureWindow, VantagePoint
+from repro.vantage.isp import ISPVantagePoint
+from repro.vantage.ixp import IXPVantagePoint
+from repro.vantage.observatory import IXPObservatory
+from repro.vantage.visibility import FlowVisibility
+
+__all__ = ["DayTraffic", "Scenario"]
+
+
+@dataclass
+class DayTraffic:
+    """Ground-truth traffic of one scenario day, by kind."""
+
+    day: int
+    events: list[AttackEvent]
+    attack: FlowTable
+    trigger: FlowTable
+    scan: FlowTable
+    benign: FlowTable
+
+    def all_flows(self) -> FlowTable:
+        return FlowTable.concat([self.attack, self.trigger, self.scan, self.benign])
+
+    def to_reflectors(self) -> FlowTable:
+        """Traffic towards reflector ports (triggers + scans + benign queries)."""
+        return FlowTable.concat([self.trigger, self.scan, self.benign])
+
+
+class Scenario:
+    """A fully wired simulation world."""
+
+    def __init__(self, config: ScenarioConfig | None = None) -> None:
+        self.config = config or ScenarioConfig()
+        self.seeds = SeedSequenceTree(self.config.seed)
+
+        # World: topology + the measurement AS attached to it.
+        self.registry, self.topology = build_topology(
+            self.config.topology, self.seeds.child("world")
+        )
+        self._attach_observatory_as()
+
+        # Reflector pools.
+        concentrations = dict(self.config.pool_concentrations)
+        member_bias = dict(self.config.pool_member_bias)
+        self.pools: dict[str, ReflectorPool] = {
+            name: ReflectorPool.generate(
+                name,
+                size,
+                self.registry,
+                self.seeds.child("pools"),
+                concentration=concentrations.get(name, 1.0),
+                member_weight_multiplier=member_bias.get(name, 1.0),
+            )
+            for name, size in self.config.pool_sizes
+        }
+
+        # Market, takedown, background.
+        self.market = BooterMarket(
+            self.registry, self.pools, self.config.market, self.seeds.child("market")
+        )
+        self.takedown: TakedownScenario = self.config.default_takedown()
+        self.background = BenignBackground(
+            self.registry, self.pools, self.config.background, self.seeds.child("bg")
+        )
+
+        # Vantage points.
+        self.visibility = FlowVisibility(self.topology)
+        tier1_asn = self.registry.by_role(ASRole.TIER1)[0].asn
+        tier2_members = [
+            a for a in self.registry.by_role(ASRole.TIER2) if a.ixp_member
+        ]
+        if not tier2_members:
+            raise RuntimeError("topology has no tier-2 IXP member for the tier-2 ISP")
+        tier2_asn = tier2_members[0].asn
+        self.ixp = IXPVantagePoint(
+            self.visibility,
+            CaptureWindow(*self.config.ixp_window),
+            sampling_denominator=self.config.ixp_sampling,
+        )
+        self.tier1 = ISPVantagePoint(
+            tier1_asn,
+            self.visibility,
+            CaptureWindow(*self.config.tier1_window),
+            ingress_only=True,
+            sampling_denominator=self.config.isp_sampling,
+        )
+        self.tier2 = ISPVantagePoint(
+            tier2_asn,
+            self.visibility,
+            CaptureWindow(*self.config.tier2_window),
+            ingress_only=False,
+            sampling_denominator=self.config.isp_sampling,
+        )
+        self.vantage_points: dict[str, VantagePoint] = {
+            "ixp": self.ixp,
+            "tier1": self.tier1,
+            "tier2": self.tier2,
+        }
+        self._day_cache: dict[tuple[int, bool], DayTraffic] = {}
+
+    # -- construction helpers -----------------------------------------------
+
+    def _attach_observatory_as(self) -> None:
+        config = self.config
+        prefix = Prefix.parse(config.observatory_prefix)
+        tier1_asn = self.registry.by_role(ASRole.TIER1)[0].asn
+        self.registry.register(
+            AutonomousSystem(
+                config.observatory_asn,
+                ASRole.MEASUREMENT,
+                (prefix,),
+                ixp_member=True,
+                name="observatory",
+            )
+        )
+        self.topology._ensure(config.observatory_asn)
+        self.topology.add_customer_provider(config.observatory_asn, tier1_asn)
+        for member in self.registry.ixp_members():
+            if member.asn != config.observatory_asn:
+                self.topology.add_peering(config.observatory_asn, member.asn, via_ixp=True)
+        self.observatory = IXPObservatory(
+            self.registry,
+            self.topology,
+            config.observatory_asn,
+            prefix,
+            transit_provider=tier1_asn,
+            capacity_bps=config.observatory_capacity_bps,
+            peering_adoption=config.peering_adoption,
+            cone_export_prob=config.cone_export_prob,
+            decision_seed=config.seed,
+        )
+
+    # -- traffic generation -------------------------------------------------
+
+    def day_traffic(
+        self,
+        day: int,
+        with_takedown: bool = True,
+        bin_seconds: float = 60.0,
+        cache: bool = False,
+    ) -> DayTraffic:
+        """Generate (or return cached) ground-truth traffic for ``day``.
+
+        ``with_takedown=False`` produces the counterfactual world where
+        the seizure never happened (used by ablations).
+        """
+        if not 0 <= day < self.config.n_days:
+            raise ValueError(f"day {day} outside scenario [0, {self.config.n_days})")
+        key = (day, with_takedown)
+        if cache and key in self._day_cache:
+            return self._day_cache[key]
+
+        if with_takedown:
+            weights = self.takedown.demand_weights(self.market, day)
+            activity = self.takedown.backend_activity(self.market, day)
+            # attacks_for_day normalizes the weights (they only set the
+            # per-service mix); the takedown's *total* demand level must be
+            # applied through the scale factor.
+            demand_level = self.takedown.demand_scale(self.market, day)
+        else:
+            weights = None
+            activity = None
+            demand_level = 1.0
+
+        events = self.market.attacks_for_day(
+            day, demand_weights=weights, demand_scale=self.config.scale * demand_level
+        )
+        rng = self.seeds.child("traffic", day).rng()
+        attack_tables: list[FlowTable] = []
+        trigger_tables: list[FlowTable] = []
+        for event in events:
+            attack_tables.append(synthesize_attack_flows(event, rng, bin_seconds=bin_seconds))
+            backend = self.market.services[event.booter]
+            trigger_tables.append(
+                synthesize_trigger_flows(
+                    event, rng, bin_seconds=bin_seconds, origin_asn=backend.backend_asn
+                )
+            )
+        # Scan volume scales with the simulated world size like everything else.
+        if activity is None:
+            activity = {name: 1.0 for name in self.market.services}
+        scaled_activity = {n: a * self.config.scale for n, a in activity.items()}
+        scan = self.market.scan_flows_for_day(day, activity=scaled_activity)
+        benign = self.background.flows_for_day(day, intensity_scale=self.config.scale)
+        traffic = DayTraffic(
+            day=day,
+            events=events,
+            attack=FlowTable.concat(attack_tables),
+            trigger=FlowTable.concat(trigger_tables),
+            scan=scan,
+            benign=benign,
+        )
+        if cache:
+            self._day_cache[key] = traffic
+        return traffic
+
+    def observe_day(
+        self,
+        vantage: str,
+        traffic: DayTraffic,
+        kinds: tuple[str, ...] = ("attack", "trigger", "scan", "benign"),
+    ) -> FlowTable:
+        """What ``vantage`` ('ixp' | 'tier1' | 'tier2') exports for the day."""
+        vp = self.vantage_point(vantage)
+        table = FlowTable.concat([getattr(traffic, kind) for kind in kinds])
+        rng = self.seeds.child("observe", vantage, traffic.day).rng()
+        return vp.observe(table, rng)
+
+    def vantage_point(self, name: str) -> VantagePoint:
+        try:
+            return self.vantage_points[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown vantage point {name!r} (have: {sorted(self.vantage_points)})"
+            ) from None

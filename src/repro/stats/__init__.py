@@ -1,0 +1,38 @@
+"""Statistics and reproducibility substrate.
+
+Everything stochastic in :mod:`repro` draws randomness from a
+:class:`~repro.stats.rng.SeedSequenceTree` so that any experiment is fully
+determined by a single integer seed, and subsystems can be re-run in
+isolation without perturbing each other's random streams.
+
+The takedown analysis of the paper relies on a one-tailed Welch
+unequal-variances t-test; :mod:`repro.stats.welch` implements it from first
+principles (and the test suite cross-checks it against :mod:`scipy.stats`).
+"""
+
+from repro.stats.bootstrap import bootstrap_mean_ci
+from repro.stats.distributions import (
+    DiscreteDistribution,
+    LogNormal,
+    Mixture,
+    ParetoTail,
+    TruncatedNormal,
+)
+from repro.stats.ecdf import Ecdf, empirical_pdf
+from repro.stats.rng import SeedSequenceTree, derive_rng
+from repro.stats.welch import WelchResult, welch_one_tailed
+
+__all__ = [
+    "DiscreteDistribution",
+    "Ecdf",
+    "LogNormal",
+    "Mixture",
+    "ParetoTail",
+    "SeedSequenceTree",
+    "TruncatedNormal",
+    "WelchResult",
+    "bootstrap_mean_ci",
+    "derive_rng",
+    "empirical_pdf",
+    "welch_one_tailed",
+]

@@ -1,0 +1,89 @@
+"""Bootstrap confidence intervals.
+
+Used by the ablation benchmarks to put uncertainty bands on reduction
+ratios (the paper reports point estimates only; we add CIs to show how
+robust the significance calls are at simulation scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BootstrapCI", "bootstrap_mean_ci", "bootstrap_ratio_ci"]
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """A percentile bootstrap confidence interval around a point estimate."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+    n_resamples: int
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+
+def bootstrap_mean_ci(
+    sample: np.ndarray,
+    rng: np.random.Generator,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+) -> BootstrapCI:
+    """Percentile bootstrap CI for the mean of ``sample``."""
+    sample = np.asarray(sample, dtype=float)
+    if sample.size < 2:
+        raise ValueError("need at least 2 observations to bootstrap")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    idx = rng.integers(0, sample.size, size=(n_resamples, sample.size))
+    means = sample[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(means, [alpha, 1.0 - alpha])
+    return BootstrapCI(
+        estimate=float(sample.mean()),
+        low=float(low),
+        high=float(high),
+        confidence=confidence,
+        n_resamples=n_resamples,
+    )
+
+
+def bootstrap_ratio_ci(
+    before: np.ndarray,
+    after: np.ndarray,
+    rng: np.random.Generator,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+) -> BootstrapCI:
+    """Bootstrap CI for ``mean(after) / mean(before)`` (the ``redNN`` ratio)."""
+    before = np.asarray(before, dtype=float)
+    after = np.asarray(after, dtype=float)
+    if before.size < 2 or after.size < 2:
+        raise ValueError("need at least 2 observations per window")
+    if before.mean() == 0:
+        raise ValueError("before-window mean is zero; ratio undefined")
+    bidx = rng.integers(0, before.size, size=(n_resamples, before.size))
+    aidx = rng.integers(0, after.size, size=(n_resamples, after.size))
+    bmeans = before[bidx].mean(axis=1)
+    ameans = after[aidx].mean(axis=1)
+    # Guard against degenerate resamples with zero mean in the denominator.
+    valid = bmeans != 0
+    ratios = ameans[valid] / bmeans[valid]
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(ratios, [alpha, 1.0 - alpha])
+    return BootstrapCI(
+        estimate=float(after.mean() / before.mean()),
+        low=float(low),
+        high=float(high),
+        confidence=confidence,
+        n_resamples=n_resamples,
+    )

@@ -1,0 +1,177 @@
+"""Parametric samplers used by the traffic synthesizers.
+
+All samplers are thin, explicit wrappers around ``numpy.random.Generator``
+draws. They carry their parameters as readable attributes so scenario
+configurations can be introspected and logged, and they expose a common
+``sample(rng, size)`` interface so traffic models can mix them freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Sampler",
+    "LogNormal",
+    "ParetoTail",
+    "TruncatedNormal",
+    "DiscreteDistribution",
+    "Mixture",
+]
+
+
+class Sampler(Protocol):
+    """Anything that can draw ``size`` floats given a generator."""
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray: ...
+
+
+@dataclass(frozen=True)
+class LogNormal:
+    """Log-normal sampler parameterized by the *linear-space* median and sigma.
+
+    ``median`` is the linear-space median (``exp(mu)``), which is much easier
+    to calibrate against reported traffic levels than ``mu`` itself.
+    """
+
+    median: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.median <= 0:
+            raise ValueError(f"median must be positive, got {self.median}")
+        if self.sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {self.sigma}")
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.lognormal(mean=np.log(self.median), sigma=self.sigma, size=size)
+
+    def mean(self) -> float:
+        """Analytic mean ``exp(mu + sigma^2/2)``."""
+        return float(self.median * np.exp(self.sigma**2 / 2.0))
+
+
+@dataclass(frozen=True)
+class ParetoTail:
+    """Pareto (power-law) sampler with scale ``xm`` and shape ``alpha``.
+
+    Used for heavy-tailed victim attack volumes: most victims receive modest
+    traffic while a few receive hundreds of Gbps, matching Figure 2(b).
+    """
+
+    xm: float
+    alpha: float
+
+    def __post_init__(self) -> None:
+        if self.xm <= 0:
+            raise ValueError(f"xm must be positive, got {self.xm}")
+        if self.alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {self.alpha}")
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        # numpy's pareto draws (X - 1) for xm = 1.
+        return self.xm * (1.0 + rng.pareto(self.alpha, size=size))
+
+    def quantile(self, q: float) -> float:
+        """Inverse CDF; handy for sizing the largest expected victim."""
+        if not 0.0 <= q < 1.0:
+            raise ValueError(f"q must be in [0, 1), got {q}")
+        return float(self.xm * (1.0 - q) ** (-1.0 / self.alpha))
+
+
+@dataclass(frozen=True)
+class TruncatedNormal:
+    """Normal sampler truncated (by resampling-free clipping) to ``[low, high]``.
+
+    Clipping rather than rejection keeps draw counts deterministic, which
+    matters for stream reproducibility; the distortion is negligible for the
+    mild truncations used here (e.g. packet sizes a few sigma from bounds).
+    """
+
+    mean: float
+    std: float
+    low: float = 0.0
+    high: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.std < 0:
+            raise ValueError(f"std must be non-negative, got {self.std}")
+        if self.low >= self.high:
+            raise ValueError(f"low must be < high, got [{self.low}, {self.high}]")
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        draws = rng.normal(self.mean, self.std, size=size)
+        return np.clip(draws, self.low, self.high)
+
+
+@dataclass(frozen=True)
+class DiscreteDistribution:
+    """Sampler over a finite set of values with explicit probabilities.
+
+    Used for e.g. NTP monlist response sizes, which in our self-attacks were
+    almost always 486 or 490 bytes (98.62% of packets).
+    """
+
+    values: tuple[float, ...]
+    probabilities: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.values) != len(self.probabilities):
+            raise ValueError("values and probabilities must have equal length")
+        if not self.values:
+            raise ValueError("DiscreteDistribution needs at least one value")
+        total = float(sum(self.probabilities))
+        if not np.isclose(total, 1.0, atol=1e-9):
+            raise ValueError(f"probabilities must sum to 1, got {total}")
+        if any(p < 0 for p in self.probabilities):
+            raise ValueError("probabilities must be non-negative")
+
+    @staticmethod
+    def of(pairs: Sequence[tuple[float, float]]) -> "DiscreteDistribution":
+        """Build from ``(value, probability)`` pairs."""
+        values = tuple(v for v, _ in pairs)
+        probs = tuple(p for _, p in pairs)
+        return DiscreteDistribution(values, probs)
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.choice(np.asarray(self.values, dtype=float), size=size, p=self.probabilities)
+
+    def mean(self) -> float:
+        return float(
+            np.dot(np.asarray(self.values, dtype=float), np.asarray(self.probabilities))
+        )
+
+
+@dataclass(frozen=True)
+class Mixture:
+    """Finite mixture of component samplers with mixing weights.
+
+    The NTP packet-size distribution at the IXP (Figure 2a) is a mixture of
+    a "benign small packets" mode and an "amplified large packets" mode.
+    """
+
+    components: tuple[Sampler, ...]
+    weights: tuple[float, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ValueError("Mixture needs at least one component")
+        weights = self.weights or tuple([1.0 / len(self.components)] * len(self.components))
+        if len(weights) != len(self.components):
+            raise ValueError("weights and components must have equal length")
+        total = float(sum(weights))
+        if not np.isclose(total, 1.0, atol=1e-9):
+            raise ValueError(f"weights must sum to 1, got {total}")
+        object.__setattr__(self, "weights", weights)
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        counts = rng.multinomial(size, self.weights)
+        parts = [
+            comp.sample(rng, int(n)) for comp, n in zip(self.components, counts) if n > 0
+        ]
+        out = np.concatenate(parts) if parts else np.empty(0)
+        rng.shuffle(out)
+        return out

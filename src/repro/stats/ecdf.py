@@ -1,0 +1,69 @@
+"""Empirical CDF / PDF helpers for figure reproduction.
+
+Figures 2(a) and 2(c) of the paper are empirical CDFs (and one histogram
+PDF). These helpers return plain arrays so experiment drivers can print
+the series as text tables without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Ecdf", "empirical_pdf"]
+
+
+@dataclass(frozen=True)
+class Ecdf:
+    """Empirical cumulative distribution function of a sample.
+
+    ``x`` holds the sorted unique sample values; ``y`` the fraction of
+    observations ``<= x``.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+
+    @staticmethod
+    def from_sample(sample: np.ndarray) -> "Ecdf":
+        sample = np.asarray(sample, dtype=float)
+        if sample.size == 0:
+            raise ValueError("cannot build an ECDF from an empty sample")
+        if np.isnan(sample).any():
+            raise ValueError("sample contains NaN")
+        values, counts = np.unique(sample, return_counts=True)
+        cum = np.cumsum(counts) / sample.size
+        return Ecdf(x=values, y=cum)
+
+    def evaluate(self, points: np.ndarray | float) -> np.ndarray | float:
+        """Fraction of the sample ``<= points`` (right-continuous)."""
+        scalar = np.isscalar(points)
+        pts = np.atleast_1d(np.asarray(points, dtype=float))
+        idx = np.searchsorted(self.x, pts, side="right")
+        out = np.where(idx == 0, 0.0, self.y[np.maximum(idx - 1, 0)])
+        return float(out[0]) if scalar else out
+
+    def quantile(self, q: float) -> float:
+        """Smallest sample value with ECDF >= q."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"q must be in (0, 1], got {q}")
+        idx = int(np.searchsorted(self.y, q, side="left"))
+        idx = min(idx, self.x.size - 1)
+        return float(self.x[idx])
+
+
+def empirical_pdf(
+    sample: np.ndarray, bins: int = 50, range_: tuple[float, float] | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram-estimated density: returns ``(bin_centers, density)``.
+
+    Density is normalized so the histogram integrates to 1 (numpy's
+    ``density=True`` semantics), matching the PDF curve in Figure 2(a).
+    """
+    sample = np.asarray(sample, dtype=float)
+    if sample.size == 0:
+        raise ValueError("cannot estimate a PDF from an empty sample")
+    density, edges = np.histogram(sample, bins=bins, range=range_, density=True)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    return centers, density

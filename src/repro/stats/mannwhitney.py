@@ -1,0 +1,118 @@
+"""One-tailed Mann-Whitney U test (normal approximation, tie-corrected).
+
+The paper's wt30/wt40 metrics use Welch's t-test, which assumes
+approximately normal daily sums. Heavy-tailed attack traffic can violate
+that; the Mann-Whitney U test is the standard nonparametric alternative
+(it compares ranks, not means). The ablation benches re-run the takedown
+significance calls under this test to show the conclusions do not hinge
+on the parametric assumption.
+
+Implementation: the large-sample normal approximation with tie correction
+and continuity correction — the same default as ``scipy.stats.mannwhitneyu
+(method="asymptotic")``, which the test suite cross-checks against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stats.welch import student_t_sf  # noqa: F401  (doc cross-ref)
+
+__all__ = ["MannWhitneyResult", "mannwhitney_one_tailed"]
+
+
+def _normal_sf(z: float) -> float:
+    """Survival function of the standard normal via erfc."""
+    from math import erfc, sqrt
+
+    return 0.5 * erfc(z / sqrt(2.0))
+
+
+@dataclass(frozen=True)
+class MannWhitneyResult:
+    """One-tailed Mann-Whitney outcome (alternative: before > after)."""
+
+    u_statistic: float
+    z_score: float
+    p_value: float
+    alpha: float
+    significant: bool
+    median_before: float
+    median_after: float
+
+    @property
+    def reduction_ratio(self) -> float:
+        """Median-based after/before ratio (nonparametric ``redNN``)."""
+        if self.median_before == 0:
+            return float("nan")
+        return self.median_after / self.median_before
+
+
+def mannwhitney_one_tailed(
+    before: np.ndarray, after: np.ndarray, alpha: float = 0.05
+) -> MannWhitneyResult:
+    """Test whether ``after`` is stochastically *smaller* than ``before``.
+
+    Args:
+        before: observations preceding the intervention.
+        after: observations following it.
+        alpha: significance level.
+
+    Returns:
+        A :class:`MannWhitneyResult`; ``significant`` is the wtNN-style
+        boolean under the rank test.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    before = np.asarray(before, dtype=float)
+    after = np.asarray(after, dtype=float)
+    n1, n2 = before.size, after.size
+    if n1 < 2 or n2 < 2:
+        raise ValueError(f"need >=2 observations per sample, got {n1} and {n2}")
+
+    combined = np.concatenate([before, after])
+    order = np.argsort(combined, kind="stable")
+    ranks = np.empty(combined.size)
+    # Midranks for ties.
+    sorted_values = combined[order]
+    ranks_sorted = np.arange(1, combined.size + 1, dtype=float)
+    _, inverse, counts = np.unique(sorted_values, return_inverse=True, return_counts=True)
+    # Average rank per tie group.
+    group_rank_sums = np.zeros(counts.size)
+    np.add.at(group_rank_sums, inverse, ranks_sorted)
+    midranks = group_rank_sums[inverse] / counts[inverse]
+    ranks[order] = midranks
+
+    r1 = ranks[:n1].sum()
+    u1 = r1 - n1 * (n1 + 1) / 2.0  # U of the "before" sample
+
+    n = n1 + n2
+    mean_u = n1 * n2 / 2.0
+    tie_term = float(((counts**3 - counts).sum()))
+    var_u = n1 * n2 / 12.0 * ((n + 1) - tie_term / (n * (n - 1)))
+    if var_u <= 0:
+        # All observations identical: no evidence of change.
+        return MannWhitneyResult(
+            u_statistic=u1,
+            z_score=0.0,
+            p_value=1.0,
+            alpha=alpha,
+            significant=False,
+            median_before=float(np.median(before)),
+            median_after=float(np.median(after)),
+        )
+    # One-tailed (before stochastically greater): large U1 is evidence;
+    # continuity correction of 0.5 as in scipy's asymptotic method.
+    z = (u1 - mean_u - 0.5) / np.sqrt(var_u)
+    p = _normal_sf(float(z))
+    return MannWhitneyResult(
+        u_statistic=float(u1),
+        z_score=float(z),
+        p_value=p,
+        alpha=alpha,
+        significant=bool(p < alpha),
+        median_before=float(np.median(before)),
+        median_after=float(np.median(after)),
+    )

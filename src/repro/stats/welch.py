@@ -1,0 +1,151 @@
+"""One-tailed Welch unequal-variances t-test.
+
+The paper's takedown analysis (Section 5.2) defines:
+
+* ``wt30``/``wt40`` — whether a one-tailed Welch test comparing the daily
+  packet sums 30/40 days *before* against 30/40 days *after* the takedown
+  finds a significant reduction at ``p = 0.05``;
+* ``red30``/``red40`` — the ratio of daily-mean packets after vs before.
+
+This module implements the test itself. The implementation follows the
+standard Welch (1947) formulation: the statistic is
+
+    t = (mean(x) - mean(y)) / sqrt(s_x^2 / n_x + s_y^2 / n_y)
+
+with Welch–Satterthwaite degrees of freedom. The one-tailed p-value for the
+alternative "mean(after) < mean(before)" is the upper tail of Student's t
+distribution at ``t`` computed with ``x = before`` and ``y = after``.
+
+The survival function of Student's t is computed via the regularized
+incomplete beta function (scipy.special.betainc), which keeps the module
+free of scipy.stats while remaining numerically exact; the test suite
+cross-checks results against ``scipy.stats.ttest_ind(equal_var=False)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import betainc
+
+__all__ = ["WelchResult", "welch_statistic", "welch_one_tailed", "student_t_sf"]
+
+
+def student_t_sf(t: float, df: float) -> float:
+    """Survival function ``P(T > t)`` of Student's t with ``df`` degrees of freedom.
+
+    Uses the identity ``P(T > t) = I_{df/(df+t^2)}(df/2, 1/2) / 2`` for
+    ``t >= 0`` and symmetry for ``t < 0``.
+    """
+    if df <= 0:
+        raise ValueError(f"degrees of freedom must be positive, got {df}")
+    if np.isnan(t):
+        return float("nan")
+    if np.isinf(t):
+        return 0.0 if t > 0 else 1.0
+    x = df / (df + t * t)
+    tail = 0.5 * float(betainc(df / 2.0, 0.5, x))
+    return tail if t >= 0 else 1.0 - tail
+
+
+def welch_statistic(x: np.ndarray, y: np.ndarray) -> tuple[float, float]:
+    """Return ``(t, df)`` of Welch's t-test for samples ``x`` and ``y``.
+
+    ``t`` is positive when ``mean(x) > mean(y)``. Sample variances use the
+    unbiased (``ddof=1``) estimator. Both samples need at least two
+    observations and at least one of them must have nonzero variance.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.ndim != 1 or y.ndim != 1:
+        raise ValueError("welch_statistic expects 1-D samples")
+    nx, ny = x.size, y.size
+    if nx < 2 or ny < 2:
+        raise ValueError(f"need >=2 observations per sample, got {nx} and {ny}")
+    vx = float(np.var(x, ddof=1))
+    vy = float(np.var(y, ddof=1))
+    sx2 = vx / nx
+    sy2 = vy / ny
+    denom = sx2 + sy2
+    if denom == 0.0:
+        # Identical constant samples: no evidence either way.
+        mean_diff = float(np.mean(x) - np.mean(y))
+        t = float("inf") if mean_diff > 0 else (float("-inf") if mean_diff < 0 else 0.0)
+        return t, float(nx + ny - 2)
+    t = float((np.mean(x) - np.mean(y)) / np.sqrt(denom))
+    # Welch–Satterthwaite degrees of freedom.
+    df_num = denom * denom
+    df_den = (sx2 * sx2) / (nx - 1) + (sy2 * sy2) / (ny - 1)
+    df = float(df_num / df_den) if df_den > 0 else float(nx + ny - 2)
+    return t, df
+
+
+@dataclass(frozen=True)
+class WelchResult:
+    """Outcome of a one-tailed Welch test for a *reduction*.
+
+    Attributes:
+        statistic: Welch t statistic (positive when before-mean > after-mean).
+        df: Welch–Satterthwaite degrees of freedom.
+        p_value: one-tailed p-value for the alternative
+            ``mean(after) < mean(before)``.
+        alpha: the significance level the ``significant`` flag was
+            evaluated at.
+        significant: ``p_value < alpha``.
+        mean_before: sample mean of the before window.
+        mean_after: sample mean of the after window.
+    """
+
+    statistic: float
+    df: float
+    p_value: float
+    alpha: float
+    significant: bool
+    mean_before: float
+    mean_after: float
+
+    @property
+    def reduction_ratio(self) -> float:
+        """After-mean as a fraction of the before-mean (paper's ``redNN``).
+
+        A value of ``0.225`` corresponds to the paper's "22.50%".
+        Returns ``nan`` when the before-mean is zero.
+        """
+        if self.mean_before == 0:
+            return float("nan")
+        return self.mean_after / self.mean_before
+
+
+def welch_one_tailed(
+    before: np.ndarray, after: np.ndarray, alpha: float = 0.05
+) -> WelchResult:
+    """Test whether ``after`` has a significantly *lower* mean than ``before``.
+
+    This is the paper's ``wtNN`` metric: a one-tailed Welch unequal
+    variances test at significance level ``alpha`` (0.05 in the paper).
+
+    Args:
+        before: daily observations preceding the intervention.
+        after: daily observations following the intervention.
+        alpha: significance level.
+
+    Returns:
+        A :class:`WelchResult`; ``result.significant`` is the ``wtNN``
+        boolean and ``result.reduction_ratio`` the ``redNN`` ratio.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    before = np.asarray(before, dtype=float)
+    after = np.asarray(after, dtype=float)
+    t, df = welch_statistic(before, after)
+    p = student_t_sf(t, df)
+    return WelchResult(
+        statistic=t,
+        df=df,
+        p_value=p,
+        alpha=alpha,
+        significant=bool(p < alpha),
+        mean_before=float(np.mean(before)),
+        mean_after=float(np.mean(after)),
+    )

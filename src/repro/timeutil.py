@@ -1,0 +1,66 @@
+"""Calendar helpers tying simulation day indices to real dates.
+
+The paper anchors everything to calendar dates (the takedown on
+2018-12-19, capture windows per vantage point, monthly Alexa medians).
+Simulations run on integer day indices; these helpers convert between the
+two against explicit epochs.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+__all__ = [
+    "TRAFFIC_EPOCH",
+    "DOMAIN_EPOCH",
+    "TAKEDOWN_DATE",
+    "parse_date",
+    "day_index",
+    "date_of",
+    "month_key",
+    "iter_months",
+]
+
+#: First day of the takedown traffic study (Section 5.2's 122-day series).
+TRAFFIC_EPOCH = _dt.date(2018, 9, 30)
+
+#: First month of the Alexa/domain observatory (Figure 3 starts 2016-08).
+DOMAIN_EPOCH = _dt.date(2016, 8, 1)
+
+#: The FBI seizure of the 15 booter domains.
+TAKEDOWN_DATE = _dt.date(2018, 12, 19)
+
+
+def parse_date(text: str) -> _dt.date:
+    """Parse ``YYYY-MM-DD``."""
+    return _dt.date.fromisoformat(text)
+
+
+def day_index(date: _dt.date, epoch: _dt.date = TRAFFIC_EPOCH) -> int:
+    """Days elapsed from ``epoch`` to ``date`` (negative if before)."""
+    return (date - epoch).days
+
+
+def date_of(day: int, epoch: _dt.date = TRAFFIC_EPOCH) -> _dt.date:
+    """The calendar date of simulation day ``day``."""
+    return epoch + _dt.timedelta(days=day)
+
+
+def month_key(date: _dt.date) -> str:
+    """``YYYY-MM`` bucket of a date."""
+    return f"{date.year:04d}-{date.month:02d}"
+
+
+def iter_months(start: _dt.date, end: _dt.date) -> list[str]:
+    """All ``YYYY-MM`` keys from ``start``'s month through ``end``'s month."""
+    if end < start:
+        raise ValueError("end month precedes start month")
+    months = []
+    year, month = start.year, start.month
+    while (year, month) <= (end.year, end.month):
+        months.append(f"{year:04d}-{month:02d}")
+        month += 1
+        if month == 13:
+            month = 1
+            year += 1
+    return months

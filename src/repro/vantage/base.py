@@ -1,0 +1,92 @@
+"""Vantage-point base machinery: capture windows and the observe pipeline."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.flows.records import FlowTable
+from repro.flows.sampling import PacketSampler
+from repro.netmodel.addressing import PrefixAnonymizer
+
+__all__ = ["CaptureWindow", "VantagePoint"]
+
+SECONDS_PER_DAY = 86_400.0
+
+
+@dataclass(frozen=True)
+class CaptureWindow:
+    """Day range (inclusive start, exclusive end) a vantage point recorded.
+
+    The paper's traces cover different windows: the IXP 2018-10-27 to
+    2019-01-31, the tier-1 ISP only 2018-12-12 to 2018-12-30, the tier-2
+    ISP 2018-09-27 to 2019-02-02. Day indices are scenario days.
+    """
+
+    start_day: int
+    end_day: int
+
+    def __post_init__(self) -> None:
+        if self.end_day <= self.start_day:
+            raise ValueError("capture window must be non-empty")
+
+    def contains_day(self, day: int) -> bool:
+        return self.start_day <= day < self.end_day
+
+    @property
+    def n_days(self) -> int:
+        return self.end_day - self.start_day
+
+    def clip_table(self, table: FlowTable) -> FlowTable:
+        """Drop flows outside the window."""
+        if len(table) == 0:
+            return table
+        t0 = self.start_day * SECONDS_PER_DAY
+        t1 = self.end_day * SECONDS_PER_DAY
+        return table.select(time_range=(t0, t1))
+
+
+class VantagePoint(ABC):
+    """A network whose flow export we analyze.
+
+    The observation pipeline is: visibility filter (which flows cross this
+    network and from which neighbor) -> capture-window clip -> packet
+    sampling -> address anonymization. Subclasses implement the
+    visibility step.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        window: CaptureWindow,
+        sampler: PacketSampler,
+        anonymizer: PrefixAnonymizer | None,
+    ) -> None:
+        if not name:
+            raise ValueError("vantage point needs a name")
+        self.name = name
+        self.window = window
+        self.sampler = sampler
+        self.anonymizer = anonymizer
+
+    @abstractmethod
+    def visibility_filter(self, table: FlowTable) -> FlowTable:
+        """Flows this vantage point's export would contain, with
+        ``peer_asn`` set to the handover neighbor."""
+
+    def observe(self, table: FlowTable, rng: np.random.Generator) -> FlowTable:
+        """Full observation pipeline: filter, clip, sample, anonymize."""
+        visible = self.visibility_filter(table)
+        clipped = self.window.clip_table(visible)
+        sampled = self.sampler.apply(clipped, rng)
+        if self.anonymizer is not None and len(sampled):
+            sampled = sampled.with_columns(
+                src_ip=self.anonymizer.anonymize_array(sampled["src_ip"]),
+                dst_ip=self.anonymizer.anonymize_array(sampled["dst_ip"]),
+            )
+        return sampled
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r}, days [{self.window.start_day}, {self.window.end_day}))"

@@ -1,0 +1,75 @@
+"""API hygiene: public surface is importable, documented, and consistent."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.stats",
+    "repro.netmodel",
+    "repro.protocols",
+    "repro.flows",
+    "repro.booter",
+    "repro.vantage",
+    "repro.domains",
+    "repro.core",
+    "repro.scenario",
+    "repro.experiments",
+    "repro.economics",
+    "repro.mitigation",
+    "repro.honeypot",
+]
+
+
+def _walk_modules():
+    seen = []
+    for name in PACKAGES:
+        module = importlib.import_module(name)
+        seen.append(module)
+        if hasattr(module, "__path__"):
+            for info in pkgutil.iter_modules(module.__path__):
+                seen.append(importlib.import_module(f"{name}.{info.name}"))
+    return {m.__name__: m for m in seen}
+
+
+MODULES = _walk_modules()
+
+
+class TestImportsAndDocs:
+    @pytest.mark.parametrize("name", sorted(MODULES))
+    def test_module_has_docstring(self, name):
+        assert MODULES[name].__doc__, f"{name} lacks a module docstring"
+
+    @pytest.mark.parametrize("name", sorted(MODULES))
+    def test_all_names_resolve(self, name):
+        module = MODULES[name]
+        exported = getattr(module, "__all__", [])
+        for symbol in exported:
+            assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol!r}"
+
+    @pytest.mark.parametrize("name", sorted(MODULES))
+    def test_public_callables_documented(self, name):
+        module = MODULES[name]
+        exported = getattr(module, "__all__", [])
+        for symbol in exported:
+            obj = getattr(module, symbol)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                # Only check objects defined in this package.
+                if getattr(obj, "__module__", "").startswith("repro"):
+                    assert inspect.getdoc(obj), f"{name}.{symbol} lacks a docstring"
+
+
+class TestVersion:
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+    def test_top_level_exports(self):
+        assert repro.Scenario is not None
+        assert repro.FlowTable is not None

@@ -1,0 +1,193 @@
+"""Tests for the booter market and the takedown scenario."""
+
+import numpy as np
+import pytest
+
+from repro.booter.market import BooterMarket, MarketConfig, VictimPopulation
+from repro.booter.reflectors import ReflectorPool
+from repro.booter.takedown import TakedownScenario
+from repro.netmodel.topology import TopologyConfig, build_topology
+from repro.stats.rng import SeedSequenceTree
+
+
+@pytest.fixture(scope="module")
+def topo_env():
+    return build_topology(TopologyConfig(n_tier1=3, n_tier2=10, n_stub=60), SeedSequenceTree(1))
+
+
+@pytest.fixture(scope="module")
+def pools(topo_env):
+    reg, _ = topo_env
+    seeds = SeedSequenceTree(2)
+    return {
+        "ntp": ReflectorPool.generate("ntp", 3000, reg, seeds, concentration=1.0),
+        "dns": ReflectorPool.generate("dns", 2500, reg, seeds, concentration=1.0),
+        "cldap": ReflectorPool.generate("cldap", 1200, reg, seeds, concentration=2.0),
+        "memcached": ReflectorPool.generate("memcached", 600, reg, seeds, concentration=10.0),
+        "ssdp": ReflectorPool.generate("ssdp", 800, reg, seeds, concentration=1.0),
+    }
+
+
+@pytest.fixture(scope="module")
+def market(topo_env, pools):
+    reg, _ = topo_env
+    config = MarketConfig(daily_attacks=30.0, n_victims=300)
+    return BooterMarket(reg, pools, config, SeedSequenceTree(3))
+
+
+class TestMarketConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarketConfig(daily_attacks=0)
+        with pytest.raises(ValueError):
+            MarketConfig(seized_synthetic=99, n_synthetic_booters=5)
+        with pytest.raises(ValueError):
+            MarketConfig(vector_mix=(("ntp", 0.5),))
+        with pytest.raises(KeyError):
+            MarketConfig(vector_mix=(("quic", 1.0),))
+        with pytest.raises(ValueError):
+            MarketConfig(plan_mix=(("non-vip", 0.5),))
+
+
+class TestVictimPopulation:
+    def test_size_and_heavy_tail(self, topo_env):
+        reg, _ = topo_env
+        pop = VictimPopulation(reg, MarketConfig(n_victims=500), SeedSequenceTree(4))
+        assert len(pop) == 500
+        rng = np.random.default_rng(0)
+        ips, asns = pop.sample(rng, 5000)
+        _, counts = np.unique(ips, return_counts=True)
+        # Zipf popularity: the most-hit victim absorbs many samples.
+        assert counts.max() > 5000 / 500 * 5
+
+    def test_victim_asns_resolve(self, topo_env):
+        reg, _ = topo_env
+        pop = VictimPopulation(reg, MarketConfig(n_victims=200), SeedSequenceTree(5))
+        resolved = reg.resolve_addresses(pop.ips)
+        np.testing.assert_array_equal(resolved, pop.asns)
+
+
+class TestBooterMarket:
+    def test_all_services_built(self, market):
+        # 4 catalogue booters + 20 synthetic.
+        assert len(market.services) == 24
+        assert {"A", "B", "C", "D"} <= set(market.services)
+
+    def test_fifteen_seized(self, market):
+        assert len(market.seized_services()) == 15
+
+    def test_seized_services_lead_market(self, market):
+        """The FBI picked popular services: seized > surviving demand share."""
+        seized = sum(s.popularity for s in market.seized_services())
+        assert seized > 0.5
+
+    def test_attacks_for_day_deterministic(self, market):
+        a = market.attacks_for_day(5)
+        b = market.attacks_for_day(5)
+        assert len(a) == len(b)
+        assert all(x.victim_ip == y.victim_ip for x, y in zip(a, b))
+
+    def test_attack_times_within_day(self, market):
+        events = market.attacks_for_day(3)
+        assert events, "expected some attacks"
+        for e in events:
+            assert 3 * 86400 <= e.start_time < 4 * 86400
+
+    def test_vector_mix_dominated_by_ntp(self, market):
+        vectors = [e.vector for day in range(6) for e in market.attacks_for_day(day)]
+        assert vectors.count("ntp") / len(vectors) > 0.4
+
+    def test_demand_weights_override(self, market):
+        only_c = {name: (1.0 if name == "C" else 0.0) for name in market.services}
+        events = market.attacks_for_day(0, demand_weights=only_c)
+        assert events
+        assert all(e.booter == "C" for e in events)
+
+    def test_zero_demand(self, market):
+        zero = {name: 0.0 for name in market.services}
+        assert market.attacks_for_day(0, demand_weights=zero) == []
+
+    def test_demand_scale(self, market):
+        lots = sum(len(market.attacks_for_day(d, demand_scale=3.0)) for d in range(4))
+        few = sum(len(market.attacks_for_day(d, demand_scale=0.3)) for d in range(4))
+        assert lots > few * 3
+
+    def test_negative_scale_rejected(self, market):
+        with pytest.raises(ValueError):
+            market.attacks_for_day(0, demand_scale=-1)
+
+    def test_scan_flows_target_vector_ports(self, market):
+        flows = market.scan_flows_for_day(0)
+        assert len(flows) > 0
+        ports = set(np.unique(flows["dst_port"]).tolist())
+        assert ports <= {123, 53, 389, 11211, 1900}
+
+    def test_scan_flows_respect_activity(self, market):
+        full = market.scan_flows_for_day(1)
+        nothing = market.scan_flows_for_day(1, activity={n: 0.0 for n in market.services})
+        assert len(nothing) == 0
+        assert full.total_packets > 0
+
+    def test_scan_activity_halved(self, market):
+        full = market.scan_flows_for_day(2).total_packets
+        half = market.scan_flows_for_day(
+            2, activity={n: 0.5 for n in market.services}
+        ).total_packets
+        assert half == pytest.approx(full * 0.5, rel=0.05)
+
+
+class TestTakedownScenario:
+    @pytest.fixture
+    def scenario(self):
+        return TakedownScenario(takedown_day=50, migration_halflife_days=4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TakedownScenario(takedown_day=0, migration_halflife_days=0)
+        with pytest.raises(ValueError):
+            TakedownScenario(takedown_day=0, permanent_demand_loss=2.0)
+        with pytest.raises(ValueError):
+            TakedownScenario(takedown_day=0, revived_booters={"A": -1})
+
+    def test_backend_activity_before(self, market, scenario):
+        activity = scenario.backend_activity(market, 10)
+        assert all(v == 1.0 for v in activity.values())
+
+    def test_backend_activity_after(self, market, scenario):
+        activity = scenario.backend_activity(market, 51)
+        for name, service in market.services.items():
+            if service.catalog.seized:
+                assert activity[name] == 0.0
+            else:
+                assert activity[name] == 1.0
+
+    def test_booter_a_revives(self, market, scenario):
+        # A revives 3 days after the takedown with partial activity.
+        assert scenario.backend_activity(market, 52)["A"] == 0.0
+        assert scenario.backend_activity(market, 53)["A"] == pytest.approx(0.6)
+
+    def test_demand_drops_then_recovers(self, market, scenario):
+        def total(day):
+            return scenario.demand_scale(market, day)
+
+        assert total(49) == pytest.approx(1.0)
+        day_after = total(51)
+        assert day_after < 0.85  # immediate dip
+        recovered = total(80)
+        assert recovered > day_after
+        # Long-run level: 1 - permanent_loss * displaced share (plus the
+        # revived booter's recovery), i.e. close to but below 1.
+        assert 0.85 < recovered <= 1.0
+
+    def test_seized_demand_zero_right_after(self, market, scenario):
+        weights = scenario.demand_weights(market, 50)
+        for name, service in market.services.items():
+            if service.catalog.seized and name != "A":
+                assert weights[name] == 0.0
+
+    def test_survivors_absorb_demand(self, market, scenario):
+        before = scenario.demand_weights(market, 10)
+        after = scenario.demand_weights(market, 85)
+        for name, service in market.services.items():
+            if not service.catalog.seized:
+                assert after[name] > before[name]

@@ -1,0 +1,168 @@
+"""Tests for reflector pools and set-churn processes."""
+
+import numpy as np
+import pytest
+
+from repro.booter.reflectors import (
+    ReflectorChurnConfig,
+    ReflectorPool,
+    ReflectorSetProcess,
+    overlap_fraction,
+)
+from repro.netmodel.topology import TopologyConfig, build_topology
+from repro.stats.rng import SeedSequenceTree
+
+
+@pytest.fixture(scope="module")
+def registry():
+    reg, _ = build_topology(TopologyConfig(n_tier1=3, n_tier2=8, n_stub=40), SeedSequenceTree(1))
+    return reg
+
+
+@pytest.fixture(scope="module")
+def pool(registry):
+    return ReflectorPool.generate("ntp", 2000, registry, SeedSequenceTree(2))
+
+
+class TestReflectorPool:
+    def test_size(self, pool):
+        assert len(pool) == 2000
+
+    def test_unique_ips(self, pool):
+        assert np.unique(pool.ips).size == len(pool)
+
+    def test_ips_belong_to_claimed_as(self, pool, registry):
+        resolved = registry.resolve_addresses(pool.ips)
+        np.testing.assert_array_equal(resolved, pool.asns)
+
+    def test_concentration_skews_placement(self, registry):
+        spread = ReflectorPool.generate("a", 2000, registry, SeedSequenceTree(3), concentration=1.0)
+        concentrated = ReflectorPool.generate(
+            "b", 2000, registry, SeedSequenceTree(3), concentration=30.0
+        )
+        def top_share(p):
+            _, counts = np.unique(p.asns, return_counts=True)
+            return counts.max() / len(p)
+        assert top_share(concentrated) > top_share(spread)
+
+    def test_deterministic(self, registry):
+        a = ReflectorPool.generate("x", 500, registry, SeedSequenceTree(5))
+        b = ReflectorPool.generate("x", 500, registry, SeedSequenceTree(5))
+        np.testing.assert_array_equal(a.ips, b.ips)
+
+    def test_validation(self, registry):
+        with pytest.raises(ValueError):
+            ReflectorPool.generate("x", 0, registry, SeedSequenceTree(0))
+        with pytest.raises(ValueError):
+            ReflectorPool.generate("x", 10, registry, SeedSequenceTree(0), concentration=0)
+        with pytest.raises(ValueError):
+            ReflectorPool("x", np.array([1, 1], dtype=np.uint32), np.array([1, 2]))
+        with pytest.raises(ValueError):
+            ReflectorPool("x", np.array([], dtype=np.uint32), np.array([], dtype=np.int64))
+
+
+class TestChurnConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReflectorChurnConfig(set_size=0)
+        with pytest.raises(ValueError):
+            ReflectorChurnConfig(daily_churn=1.5)
+        with pytest.raises(ValueError):
+            ReflectorChurnConfig(replacement_prob=-0.1)
+
+
+class TestReflectorSetProcess:
+    def make(self, pool, set_size=100, churn=0.03, replacement=0.0, seed=7, frac=1.0):
+        return ReflectorSetProcess(
+            pool,
+            ReflectorChurnConfig(set_size=set_size, daily_churn=churn, replacement_prob=replacement),
+            SeedSequenceTree(seed),
+            draw_pool_fraction=frac,
+        )
+
+    def test_set_size_constant(self, pool):
+        proc = self.make(pool)
+        for day in (0, 5, 30):
+            assert proc.set_for_day(day).size == 100
+
+    def test_same_day_identical(self, pool):
+        proc = self.make(pool)
+        np.testing.assert_array_equal(proc.set_for_day(3), proc.set_for_day(3))
+
+    def test_deterministic_across_instances(self, pool):
+        a = self.make(pool, seed=9).set_for_day(10)
+        b = self.make(pool, seed=9).set_for_day(10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_moderate_churn_over_two_weeks(self, pool):
+        """~30% churn over two weeks at 2.5%/day (paper, booter B)."""
+        proc = self.make(pool, churn=0.025)
+        day0 = proc.set_for_day(0)
+        day14 = proc.set_for_day(14)
+        overlap = overlap_fraction(day0, day14)
+        # (1 - 0.025)^14 ~ 0.70 of members survive.
+        inter = np.intersect1d(day0, day14).size / day0.size
+        assert 0.55 < inter < 0.85
+        assert overlap < 1.0
+
+    def test_no_churn_stable(self, pool):
+        proc = self.make(pool, churn=0.0)
+        np.testing.assert_array_equal(proc.set_for_day(0), proc.set_for_day(20))
+
+    def test_full_replacement(self, pool):
+        proc = self.make(pool, churn=0.0, replacement=1.0)
+        day0, day1 = proc.set_for_day(0), proc.set_for_day(1)
+        assert overlap_fraction(day0, day1) < 0.2
+
+    def test_indices_within_pool(self, pool):
+        proc = self.make(pool)
+        s = proc.set_for_day(10)
+        assert s.min() >= 0 and s.max() < len(pool)
+        assert np.unique(s).size == s.size
+
+    def test_ips_and_asns_aligned(self, pool):
+        proc = self.make(pool)
+        idx = proc.set_for_day(2)
+        np.testing.assert_array_equal(proc.ips_for_day(2), pool.ips[idx])
+        np.testing.assert_array_equal(proc.asns_for_day(2), pool.asns[idx])
+
+    def test_drawable_subset_respected(self, pool):
+        proc = self.make(pool, set_size=50, frac=0.2, replacement=0.5)
+        seen = set()
+        for day in range(20):
+            seen.update(proc.set_for_day(day).tolist())
+        assert len(seen) <= int(len(pool) * 0.2)
+
+    def test_negative_day_rejected(self, pool):
+        with pytest.raises(ValueError):
+            self.make(pool).set_for_day(-1)
+
+    def test_oversized_set_rejected(self, pool):
+        with pytest.raises(ValueError):
+            self.make(pool, set_size=len(pool) + 1)
+        with pytest.raises(ValueError):
+            self.make(pool, set_size=1000, frac=0.1)
+
+    def test_shared_source_increases_overlap(self, pool):
+        """Booters drawing from the same narrow list source overlap more."""
+        narrow_a = self.make(pool, seed=11, frac=0.12)
+        narrow_b = self.make(pool, seed=11, frac=0.12)  # same seed tree -> same source
+        wide_a = self.make(pool, seed=12, frac=1.0)
+        wide_b = self.make(pool, seed=13, frac=1.0)
+        overlap_narrow = overlap_fraction(narrow_a.set_for_day(0), narrow_b.set_for_day(0))
+        overlap_wide = overlap_fraction(wide_a.set_for_day(0), wide_b.set_for_day(0))
+        assert overlap_narrow > overlap_wide
+
+
+class TestOverlapFraction:
+    def test_identical(self):
+        assert overlap_fraction(np.array([1, 2, 3]), np.array([1, 2, 3])) == 1.0
+
+    def test_disjoint(self):
+        assert overlap_fraction(np.array([1, 2]), np.array([3, 4])) == 0.0
+
+    def test_partial(self):
+        assert overlap_fraction(np.array([1, 2, 3]), np.array([3, 4, 5])) == pytest.approx(0.2)
+
+    def test_empty(self):
+        assert overlap_fraction(np.array([]), np.array([])) == 1.0

@@ -1,0 +1,274 @@
+"""Tests for booter services, plans, attack events and flow synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.booter.attack import (
+    AttackEvent,
+    synthesize_attack_flows,
+    synthesize_trigger_flows,
+)
+from repro.booter.catalog import BOOTER_CATALOG, BooterCatalogEntry, catalog_table_rows
+from repro.booter.reflectors import ReflectorChurnConfig, ReflectorPool, ReflectorSetProcess
+from repro.booter.service import BooterService, ServicePlan
+from repro.netmodel.topology import TopologyConfig, build_topology
+from repro.protocols.amplification import vector_by_name
+from repro.stats.rng import SeedSequenceTree
+
+
+@pytest.fixture(scope="module")
+def registry():
+    reg, _ = build_topology(TopologyConfig(n_tier1=3, n_tier2=8, n_stub=40), SeedSequenceTree(1))
+    return reg
+
+
+@pytest.fixture(scope="module")
+def ntp_pool(registry):
+    return ReflectorPool.generate("ntp", 1500, registry, SeedSequenceTree(2))
+
+
+@pytest.fixture(scope="module")
+def booter_b(registry, ntp_pool):
+    seeds = SeedSequenceTree(3)
+    sets = {
+        "ntp": ReflectorSetProcess(
+            ntp_pool, ReflectorChurnConfig(set_size=300), seeds.child("r", "ntp")
+        )
+    }
+    return BooterService(
+        catalog=BOOTER_CATALOG["B"],
+        plans={
+            "non-vip": ServicePlan("non-vip", 19.83, total_packet_rate_pps=2.2e6),
+            "vip": ServicePlan("vip", 178.84, total_packet_rate_pps=5.3e6),
+        },
+        reflector_sets=sets,
+        popularity=0.2,
+        backend_asn=100,
+        backend_ip=1234,
+        scan_pps_per_protocol={"ntp": 500.0},
+    )
+
+
+class TestCatalog:
+    def test_table1_contents(self):
+        assert BOOTER_CATALOG["A"].seized and BOOTER_CATALOG["B"].seized
+        assert not BOOTER_CATALOG["C"].seized and not BOOTER_CATALOG["D"].seized
+        assert BOOTER_CATALOG["B"].vip_purchased
+        assert BOOTER_CATALOG["B"].price_vip_usd == pytest.approx(178.84)
+        assert BOOTER_CATALOG["C"].protocols == ("ntp", "dns")
+
+    def test_table_rows_render(self):
+        rows = catalog_table_rows()
+        assert len(rows) == 4
+        b = next(r for r in rows if r["booter"] == "B")
+        assert b["seized"] == "yes"
+        assert b["memcached"] == "x"
+        assert b["vip_usd"] == "$178.84"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BooterCatalogEntry("", False, (), ("ntp",), 1, 1)
+        with pytest.raises(ValueError):
+            BooterCatalogEntry("X", False, (), (), 1, 1)
+        with pytest.raises(ValueError):
+            BooterCatalogEntry("X", False, (), ("ntp",), -1, 1)
+
+
+class TestServicePlan:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServicePlan("p", -1, 1000)
+        with pytest.raises(ValueError):
+            ServicePlan("p", 1, 0)
+        with pytest.raises(ValueError):
+            ServicePlan("p", 1, 1000, max_duration_s=0)
+
+
+class TestBooterService:
+    def test_launch_attack_basic(self, booter_b):
+        event = booter_b.launch_attack(
+            victim_ip=42,
+            victim_asn=7,
+            vector_name="ntp",
+            start_time=1000.0,
+            duration_s=300.0,
+            plan_name="non-vip",
+            day=0,
+            seeds=SeedSequenceTree(9),
+        )
+        assert event.booter == "B"
+        assert event.n_reflectors == 300
+        assert event.total_pps == pytest.approx(2.2e6)
+
+    def test_vip_same_reflectors_higher_rate(self, booter_b):
+        """Paper: VIP and non-VIP use the same reflector set; only pps differs."""
+        kwargs = dict(
+            victim_ip=42, victim_asn=7, vector_name="ntp",
+            start_time=1000.0, duration_s=300.0, day=0, seeds=SeedSequenceTree(9),
+        )
+        non_vip = booter_b.launch_attack(plan_name="non-vip", **kwargs)
+        vip = booter_b.launch_attack(plan_name="vip", **kwargs)
+        np.testing.assert_array_equal(non_vip.reflector_ips, vip.reflector_ips)
+        assert vip.total_pps / non_vip.total_pps == pytest.approx(5.3 / 2.2, rel=0.01)
+
+    def test_vip_rate_near_20gbps(self, booter_b):
+        """5.3M pps of ~487-byte NTP packets is ~20 Gbps (Figure 1b)."""
+        assert booter_b.expected_attack_gbps("ntp", "vip") == pytest.approx(20.0, rel=0.05)
+
+    def test_duration_capped_by_plan(self, booter_b):
+        event = booter_b.launch_attack(
+            victim_ip=1, victim_asn=1, vector_name="ntp", start_time=0.0,
+            duration_s=10_000.0, plan_name="non-vip", day=0, seeds=SeedSequenceTree(0),
+        )
+        assert event.duration_s == 300.0  # plan default max
+
+    def test_unoffered_vector_rejected(self, booter_b):
+        with pytest.raises(ValueError):
+            booter_b.launch_attack(
+                victim_ip=1, victim_asn=1, vector_name="chargen", start_time=0.0,
+                duration_s=60.0, plan_name="non-vip", day=0, seeds=SeedSequenceTree(0),
+            )
+
+    def test_unknown_plan_rejected(self, booter_b):
+        with pytest.raises(KeyError):
+            booter_b.plan("platinum")
+
+    def test_deterministic_launch(self, booter_b):
+        kwargs = dict(
+            victim_ip=1, victim_asn=1, vector_name="ntp", start_time=50.0,
+            duration_s=60.0, plan_name="non-vip", day=3, seeds=SeedSequenceTree(4),
+        )
+        a = booter_b.launch_attack(**kwargs)
+        b = booter_b.launch_attack(**kwargs)
+        np.testing.assert_array_equal(a.reflector_weights, b.reflector_weights)
+
+    def test_service_validation(self, booter_b, ntp_pool):
+        with pytest.raises(ValueError):
+            BooterService(
+                catalog=BOOTER_CATALOG["C"],  # offers ntp+dns only
+                plans={"non-vip": ServicePlan("non-vip", 1, 1)},
+                reflector_sets={
+                    "memcached": ReflectorSetProcess(
+                        ntp_pool, ReflectorChurnConfig(set_size=10), SeedSequenceTree(0)
+                    )
+                },
+                popularity=0.1,
+                backend_asn=1,
+                backend_ip=1,
+            )
+
+
+class TestAttackEvent:
+    def make_event(self, n_reflectors=50, **overrides):
+        rng = np.random.default_rng(0)
+        weights = rng.dirichlet(np.ones(n_reflectors))
+        params = dict(
+            booter="B",
+            vector="ntp",
+            plan="non-vip",
+            victim_ip=99,
+            victim_asn=5,
+            start_time=100.0,
+            duration_s=120.0,
+            total_pps=1e6,
+            reflector_ips=np.arange(n_reflectors, dtype=np.uint32),
+            reflector_asns=np.arange(n_reflectors, dtype=np.int64) % 7,
+            reflector_weights=weights,
+        )
+        params.update(overrides)
+        return AttackEvent(**params)
+
+    def test_expected_gbps(self):
+        event = self.make_event(total_pps=5.3e6)
+        ntp = vector_by_name("ntp")
+        assert event.expected_gbps() == pytest.approx(5.3e6 * ntp.mean_response_size * 8 / 1e9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make_event(duration_s=0)
+        with pytest.raises(ValueError):
+            self.make_event(total_pps=0)
+        with pytest.raises(ValueError):
+            self.make_event(reflector_weights=np.ones(50))  # doesn't sum to 1
+        with pytest.raises(ValueError):
+            self.make_event(reflector_asns=np.arange(3))
+
+
+class TestSynthesizeAttackFlows:
+    def make_event(self, **overrides):
+        return TestAttackEvent().make_event(**overrides)
+
+    def test_total_packets_match_rate(self):
+        event = self.make_event(duration_s=300.0, total_pps=1e5)
+        flows = synthesize_attack_flows(event, np.random.default_rng(1), bin_seconds=60.0)
+        expected = 300.0 * 1e5
+        assert flows.total_packets == pytest.approx(expected, rel=0.05)
+
+    def test_flow_endpoints(self):
+        event = self.make_event()
+        flows = synthesize_attack_flows(event, np.random.default_rng(1))
+        assert (flows["dst_ip"] == 99).all()
+        assert (flows["src_port"] == 123).all()
+        assert set(np.unique(flows["src_ip"])) <= set(range(50))
+
+    def test_packet_sizes_are_monlist_sized(self):
+        event = self.make_event()
+        flows = synthesize_attack_flows(event, np.random.default_rng(1))
+        sizes = flows.mean_packet_sizes()
+        assert (sizes > 400).all() and (sizes < 500).all()
+
+    def test_partial_bins_at_edges(self):
+        event = self.make_event(start_time=30.0, duration_s=60.0, total_pps=6000.0)
+        flows = synthesize_attack_flows(event, np.random.default_rng(1), bin_seconds=60.0, rate_jitter=0.0)
+        # Attack spans bins [0, 60) and [60, 120): half the traffic each.
+        bin0 = flows.select(time_range=(0.0, 60.0)).total_packets
+        bin1 = flows.select(time_range=(60.0, 120.0)).total_packets
+        assert bin0 == pytest.approx(6000 * 30, rel=0.02)
+        assert bin1 == pytest.approx(6000 * 30, rel=0.02)
+
+    def test_victim_asn_recorded(self):
+        flows = synthesize_attack_flows(self.make_event(), np.random.default_rng(0))
+        assert (flows["dst_asn"] == 5).all()
+
+    def test_jitter_validation(self):
+        with pytest.raises(ValueError):
+            synthesize_attack_flows(self.make_event(), np.random.default_rng(0), rate_jitter=1.0)
+
+    def test_second_resolution(self):
+        event = self.make_event(duration_s=10.0)
+        flows = synthesize_attack_flows(event, np.random.default_rng(0), bin_seconds=1.0)
+        assert np.unique(flows["time"]).size == 10
+
+
+class TestSynthesizeTriggerFlows:
+    def make_event(self, **overrides):
+        return TestAttackEvent().make_event(**overrides)
+
+    def test_trigger_rate_is_paf_scaled(self):
+        event = self.make_event(duration_s=300.0, total_pps=1e6)
+        flows = synthesize_trigger_flows(event, np.random.default_rng(2), bin_seconds=60.0)
+        ntp = vector_by_name("ntp")
+        expected = 300.0 * 1e6 / ntp.response_packets_per_request
+        assert flows.total_packets == pytest.approx(expected, rel=0.05)
+
+    def test_spoofed_source_is_victim(self):
+        flows = synthesize_trigger_flows(self.make_event(), np.random.default_rng(2))
+        assert (flows["src_ip"] == 99).all()
+        assert (flows["dst_port"] == 123).all()
+        assert (flows["src_asn"] == -1).all()  # no origin annotation given
+
+    def test_true_origin_annotation(self):
+        flows = synthesize_trigger_flows(
+            self.make_event(), np.random.default_rng(2), origin_asn=777
+        )
+        # src_ip still spoofed to the victim, but routing origin is real.
+        assert (flows["src_ip"] == 99).all()
+        assert (flows["src_asn"] == 777).all()
+
+    def test_request_sized_packets(self):
+        flows = synthesize_trigger_flows(self.make_event(), np.random.default_rng(2))
+        np.testing.assert_allclose(flows.mean_packet_sizes(), 234.0, atol=1.0)
+
+    def test_bin_validation(self):
+        with pytest.raises(ValueError):
+            synthesize_trigger_flows(self.make_event(), np.random.default_rng(0), bin_seconds=0)

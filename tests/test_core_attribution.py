@@ -1,0 +1,92 @@
+"""Tests for reflector-fingerprint attribution."""
+
+import numpy as np
+import pytest
+
+from repro.core.attribution import (
+    AttributionOutcome,
+    BooterFingerprint,
+    ReflectorAttributor,
+)
+
+
+def fp(name, ips, day=0):
+    return BooterFingerprint(name, np.asarray(ips, dtype=np.uint32), enrolled_day=day)
+
+
+class TestFingerprint:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fp("A", [])
+
+
+class TestAttributor:
+    @pytest.fixture
+    def attributor(self):
+        return ReflectorAttributor(
+            [fp("A", range(0, 100)), fp("B", range(100, 200)), fp("C", range(200, 220))],
+            min_score=0.2,
+        )
+
+    def test_exact_match(self, attributor):
+        outcome = attributor.attribute(np.arange(0, 100))
+        assert outcome.predicted == "A"
+        assert outcome.score == 1.0
+
+    def test_partial_overlap_still_attributed(self, attributor):
+        # 70 of A's reflectors plus 30 unknown ones.
+        observed = np.concatenate([np.arange(0, 70), np.arange(1000, 1030)])
+        outcome = attributor.attribute(observed)
+        assert outcome.predicted == "A"
+        assert 0.2 < outcome.score < 1.0
+
+    def test_unknown_set_unattributed(self, attributor):
+        outcome = attributor.attribute(np.arange(5000, 5100))
+        assert not outcome.attributed
+        assert outcome.predicted is None
+
+    def test_scores_for_all_booters(self, attributor):
+        outcome = attributor.attribute(np.arange(0, 100))
+        assert set(outcome.scores) == {"A", "B", "C"}
+
+    def test_accuracy_and_coverage(self, attributor):
+        attacks = [
+            ("A", np.arange(0, 100)),       # perfect
+            ("B", np.arange(100, 160)),     # partial -> correct
+            ("C", np.arange(4000, 4100)),   # churned away -> unattributed
+        ]
+        accuracy, coverage = attributor.accuracy(attacks)
+        assert accuracy == 1.0
+        assert coverage == pytest.approx(2 / 3)
+
+    def test_wrong_attribution_counted(self):
+        attributor = ReflectorAttributor([fp("A", range(0, 100))], min_score=0.1)
+        accuracy, coverage = attributor.accuracy([("B", np.arange(0, 50))])
+        assert coverage == 1.0
+        assert accuracy == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReflectorAttributor([])
+        with pytest.raises(ValueError):
+            ReflectorAttributor([fp("A", [1]), fp("A", [2])])
+        with pytest.raises(ValueError):
+            ReflectorAttributor([fp("A", [1])], min_score=2.0)
+        attributor = ReflectorAttributor([fp("A", [1])])
+        with pytest.raises(ValueError):
+            attributor.attribute(np.array([]))
+        with pytest.raises(ValueError):
+            attributor.accuracy([])
+
+
+class TestAttributionExperiment:
+    def test_decay_shape(self):
+        from repro.experiments import ExperimentConfig, run_experiment
+
+        result = run_experiment("attribution", ExperimentConfig())
+        decay = result.get("decay")
+        # Fresh fingerprints attribute perfectly; old ones lose coverage.
+        assert decay[0] == (1.0, 1.0)
+        assert decay[90][1] < decay[0][1]
+        # A wholesale list replacement is unattributable.
+        assert not result.get("replacement_outcome").attributed

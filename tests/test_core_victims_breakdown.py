@@ -1,0 +1,63 @@
+"""Tests for the per-AS-role victim breakdown."""
+
+import numpy as np
+import pytest
+
+from repro.core.victims import victim_asn_breakdown, victim_report
+from repro.flows.records import FlowTable
+from repro.netmodel.addressing import Prefix, random_ips_in_prefix
+from repro.netmodel.asn import ASRegistry, ASRole, AutonomousSystem
+
+
+@pytest.fixture
+def registry():
+    reg = ASRegistry()
+    reg.register(
+        AutonomousSystem(10, ASRole.STUB, (Prefix.parse("10.0.0.0/16"),))
+    )
+    reg.register(
+        AutonomousSystem(20, ASRole.TIER2, (Prefix.parse("10.1.0.0/16"),))
+    )
+    return reg
+
+
+def attack_to(dst_ip, n_src=50, gbps=2.0):
+    per_flow = int(gbps * 1e9 / 8 * 60 / n_src / 487)
+    return FlowTable(
+        {
+            "time": np.zeros(n_src),
+            "src_ip": np.arange(n_src, dtype=np.uint32) + 1_000_000,
+            "dst_ip": np.full(n_src, dst_ip, dtype=np.uint32),
+            "proto": np.full(n_src, 17, dtype=np.uint8),
+            "src_port": np.full(n_src, 123, dtype=np.uint16),
+            "dst_port": np.full(n_src, 50000, dtype=np.uint16),
+            "packets": np.full(n_src, per_flow, dtype=np.int64),
+            "bytes": np.full(n_src, per_flow * 487, dtype=np.int64),
+        }
+    )
+
+
+class TestBreakdown:
+    def test_groups_by_role(self, registry):
+        rng = np.random.default_rng(0)
+        stub_victim = int(random_ips_in_prefix(Prefix.parse("10.0.0.0/16"), rng, 1)[0])
+        tier2_victim = int(random_ips_in_prefix(Prefix.parse("10.1.0.0/16"), rng, 1)[0])
+        table = FlowTable.concat(
+            [attack_to(stub_victim), attack_to(stub_victim + 1), attack_to(tier2_victim)]
+        )
+        report = victim_report(table)
+        breakdown = victim_asn_breakdown(report, registry)
+        assert breakdown["stub"]["victims"] == 2
+        assert breakdown["tier2"]["victims"] == 1
+        assert sum(v["share"] for v in breakdown.values()) == pytest.approx(1.0)
+        assert breakdown["stub"]["peak_gbps_sum"] > breakdown["tier2"]["peak_gbps_sum"]
+
+    def test_unresolvable_space_is_unknown(self, registry):
+        table = attack_to(0xDEADBEEF)  # outside any registered prefix
+        report = victim_report(table)
+        breakdown = victim_asn_breakdown(report, registry)
+        assert list(breakdown) == ["unknown"]
+
+    def test_empty_report(self, registry):
+        report = victim_report(FlowTable.empty())
+        assert victim_asn_breakdown(report, registry) == {}

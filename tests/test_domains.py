@@ -1,0 +1,220 @@
+"""Tests for the domain observatory: names, zone, crawler, Alexa model."""
+
+import numpy as np
+import pytest
+
+from repro.domains.alexa import AlexaModel, AlexaModelConfig
+from repro.domains.crawl import KeywordCrawler
+from repro.domains.names import BOOTER_KEYWORDS, DomainNameGenerator
+from repro.domains.zone import DomainRecord, DomainUniverse, UniverseConfig, WebsiteSnapshot
+from repro.stats.rng import SeedSequenceTree
+from repro.timeutil import DOMAIN_EPOCH, TAKEDOWN_DATE, day_index
+
+TAKEDOWN_DAY = day_index(TAKEDOWN_DATE, DOMAIN_EPOCH)
+
+
+@pytest.fixture(scope="module")
+def universe():
+    seized = ["A", "B"] + [f"S{i:02d}" for i in range(13)]
+    surviving = ["C", "D"] + [f"S{i:02d}" for i in range(13, 20)]
+    return DomainUniverse(
+        seized_booters=seized,
+        surviving_booters=surviving,
+        config=UniverseConfig(n_benign=800, n_extra_booters=30),
+        seeds=SeedSequenceTree(42),
+        revival_delays={"A": 3},
+    )
+
+
+class TestNames:
+    def test_booter_names_mostly_match_keywords(self):
+        gen = DomainNameGenerator(np.random.default_rng(0))
+        names = [gen.booter_domain() for _ in range(100)]
+        assert all(DomainNameGenerator.contains_keyword(n) for n in names)
+
+    def test_stealth_names_avoid_keywords(self):
+        gen = DomainNameGenerator(np.random.default_rng(0))
+        names = [gen.booter_domain(stealth=True) for _ in range(100)]
+        assert not any(DomainNameGenerator.contains_keyword(n) for n in names)
+
+    def test_names_unique(self):
+        gen = DomainNameGenerator(np.random.default_rng(0))
+        names = [gen.booter_domain() for _ in range(200)]
+        assert len(set(names)) == 200
+
+    def test_some_benign_names_trip_keywords(self):
+        gen = DomainNameGenerator(np.random.default_rng(1))
+        names = [gen.benign_domain() for _ in range(500)]
+        tripped = [n for n in names if DomainNameGenerator.contains_keyword(n)]
+        assert 0 < len(tripped) < len(names) / 2  # e.g. bootstrap*, distress*
+
+    def test_keywords_include_paper_terms(self):
+        assert "booter" in BOOTER_KEYWORDS
+        assert "stresser" in BOOTER_KEYWORDS
+
+
+class TestDomainRecord:
+    def test_lifecycle(self):
+        r = DomainRecord("x.com", True, "A", registered_day=10, activated_day=20,
+                         dropped_day=100, seized_day=50)
+        assert not r.in_zone(5)
+        assert r.in_zone(10) and r.in_zone(99)
+        assert not r.in_zone(100)
+        assert not r.active(15)  # registered but not activated
+        assert r.active(25)
+        assert not r.active(50)  # seized
+        assert r.seized_on(50) and not r.seized_on(49)
+
+
+class TestUniverse:
+    def test_size(self, universe):
+        # 24 primary (15 seized + 9 surviving) + 1 revival + 30 extra + 800 benign.
+        assert len(universe) == 855
+
+    def test_seized_booters_marked(self, universe):
+        a_domains = universe.domains_of("A")
+        assert len(a_domains) == 2  # primary + spare
+        primary = [d for d in a_domains if d.seized_day is not None]
+        spare = [d for d in a_domains if d.seized_day is None]
+        assert len(primary) == 1 and len(spare) == 1
+
+    def test_spare_domain_dormant_then_active(self, universe):
+        spare = [d for d in universe.domains_of("A") if d.seized_day is None][0]
+        assert spare.registered_day < TAKEDOWN_DAY
+        assert spare.activated_day == TAKEDOWN_DAY + 3
+        assert not spare.active(TAKEDOWN_DAY)
+        assert spare.active(TAKEDOWN_DAY + 3)
+
+    def test_snapshot_grows(self, universe):
+        early = len(universe.snapshot(50))
+        late = len(universe.snapshot(900))
+        assert late > early
+
+    def test_snapshot_negative_day(self, universe):
+        with pytest.raises(ValueError):
+            universe.snapshot(-1)
+
+    def test_unknown_domain(self, universe):
+        with pytest.raises(KeyError):
+            universe.get("nope.example")
+
+    def test_overlap_validation(self):
+        with pytest.raises(ValueError):
+            DomainUniverse(["A"], ["A"], UniverseConfig(n_benign=1), SeedSequenceTree(0))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            UniverseConfig(n_benign=-1)
+        with pytest.raises(ValueError):
+            UniverseConfig(stealth_booter_fraction=2.0)
+
+
+class TestCrawler:
+    def test_finds_most_booters(self, universe):
+        crawler = KeywordCrawler()
+        result = crawler.crawl(universe, TAKEDOWN_DAY - 10)
+        assert len(result.verified) > 20
+        assert result.recall > 0.7  # stealth booters are missed
+
+    def test_false_positives_exist_and_filtered(self, universe):
+        crawler = KeywordCrawler()
+        result = crawler.crawl(universe, 900)
+        assert result.false_positives  # bootstrap-like benign names
+        assert set(result.false_positives).isdisjoint(result.verified)
+        assert result.precision < 1.0
+
+    def test_verified_are_booters(self, universe):
+        crawler = KeywordCrawler()
+        result = crawler.crawl(universe, 900)
+        for name in result.verified:
+            assert universe.get(name).is_booter
+
+    def test_seized_domains_still_verified(self, universe):
+        crawler = KeywordCrawler()
+        result = crawler.crawl(universe, TAKEDOWN_DAY + 10)
+        seized_names = {
+            r.name for r in universe.booter_records() if r.seized_on(TAKEDOWN_DAY + 10)
+        }
+        keyword_seized = {n for n in seized_names if crawler.name_matches(n)}
+        assert keyword_seized <= set(result.verified)
+
+    def test_new_domain_detected_after_takedown(self, universe):
+        """Booter A's replacement shows up in the post-takedown diff."""
+        crawler = KeywordCrawler()
+        new = crawler.newly_verified(universe, TAKEDOWN_DAY - 1, TAKEDOWN_DAY + 7)
+        spare = [d for d in universe.domains_of("A") if d.seized_day is None][0]
+        assert spare.name in new
+
+    def test_newly_verified_validation(self, universe):
+        with pytest.raises(ValueError):
+            KeywordCrawler().newly_verified(universe, 10, 10)
+
+    def test_empty_keywords_rejected(self):
+        with pytest.raises(ValueError):
+            KeywordCrawler(())
+
+
+class TestAlexaModel:
+    @pytest.fixture(scope="class")
+    def model(self, universe):
+        return AlexaModel(universe, SeedSequenceTree(7))
+
+    def test_deterministic(self, universe):
+        a = AlexaModel(universe, SeedSequenceTree(7))
+        b = AlexaModel(universe, SeedSequenceTree(7))
+        domain = universe.booter_records()[0].name
+        np.testing.assert_array_equal(a.daily_ranks(domain), b.daily_ranks(domain))
+
+    def test_ranks_improve_as_site_ramps(self, model, universe):
+        record = next(
+            r for r in universe.booter_records()
+            if r.seized_day is None and r.activated_day < 300 and r.booter not in ("A",)
+        )
+        early = model.rank(record.name, record.activated_day + 10)
+        late = model.rank(record.name, record.activated_day + 400)
+        assert late < early  # lower rank = more popular
+
+    def test_unactivated_domain_unranked(self, model, universe):
+        spare = [d for d in universe.domains_of("A") if d.seized_day is None][0]
+        assert model.rank(spare.name, spare.activated_day - 10) == float("inf")
+
+    def test_revival_enters_top1m_within_days(self, model, universe):
+        """Booter A's new domain entered the Top 1M 3 days post-seizure."""
+        spare = [d for d in universe.domains_of("A") if d.seized_day is None][0]
+        assert model.in_top_list(spare.name, spare.activated_day + 2)
+
+    def test_seized_domain_decays_out(self, model, universe):
+        primary = [d for d in universe.domains_of("B") if d.seized_day is not None][0]
+        before = model.rank(primary.name, TAKEDOWN_DAY - 5)
+        long_after = model.rank(primary.name, TAKEDOWN_DAY + 120)
+        assert long_after > before * 10
+
+    def test_booters_in_top1m_grow_over_time(self, model):
+        early = len(model.top_list_booters(120))
+        late = len(model.top_list_booters(850))
+        assert late > early
+
+    def test_monthly_median(self, model, universe):
+        domain = universe.booter_records()[0].name
+        median = model.monthly_median_rank(domain, "2018-10")
+        assert median > 0
+
+    def test_monthly_median_out_of_horizon(self, model, universe):
+        domain = universe.booter_records()[0].name
+        assert model.monthly_median_rank(domain, "2025-01") == float("inf")
+
+    def test_benign_domain_rejected(self, model, universe):
+        benign = next(r for r in universe.records.values() if not r.is_booter)
+        with pytest.raises(ValueError):
+            model.daily_ranks(benign.name)
+
+    def test_day_out_of_horizon(self, model, universe):
+        domain = universe.booter_records()[0].name
+        with pytest.raises(ValueError):
+            model.rank(domain, 99999)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AlexaModelConfig(seizure_decay_per_day=0.9)
+        with pytest.raises(ValueError):
+            AlexaModelConfig(press_bump_factor=0.0)

@@ -1,0 +1,90 @@
+"""Tests for booter blacklist maintenance."""
+
+import pytest
+
+from repro.domains.blacklist import BlacklistEntry, BooterBlacklist
+from repro.domains.zone import DomainUniverse, UniverseConfig
+from repro.stats.rng import SeedSequenceTree
+from repro.timeutil import DOMAIN_EPOCH, TAKEDOWN_DATE, day_index
+
+TAKEDOWN_DAY = day_index(TAKEDOWN_DATE, DOMAIN_EPOCH)
+
+
+@pytest.fixture(scope="module")
+def universe():
+    seized = ["A", "B"] + [f"S{i:02d}" for i in range(5)]
+    surviving = ["C", "D"] + [f"S{i:02d}" for i in range(5, 10)]
+    return DomainUniverse(
+        seized_booters=seized,
+        surviving_booters=surviving,
+        config=UniverseConfig(n_benign=400, n_extra_booters=15),
+        seeds=SeedSequenceTree(13),
+        revival_delays={"A": 3},
+    )
+
+
+@pytest.fixture
+def blacklist(universe):
+    return BooterBlacklist(universe)
+
+
+class TestBlacklistEntry:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlacklistEntry("x.com", 10, 5, "active")
+        with pytest.raises(ValueError):
+            BlacklistEntry("x.com", 0, 0, "weird")
+
+
+class TestBooterBlacklist:
+    def test_single_crawl_populates(self, blacklist):
+        added = blacklist.run_crawl(TAKEDOWN_DAY - 30)
+        assert len(added) == len(blacklist)
+        assert len(blacklist) > 10
+        assert all(blacklist.get(d).status in ("active", "seized", "offline") for d in added)
+
+    def test_weekly_crawls_grow_monotonically(self, blacklist):
+        blacklist.run_weekly(400, 800)
+        first_counts = len(blacklist)
+        blacklist.run_weekly(800, 900)
+        assert len(blacklist) >= first_counts
+
+    def test_seizure_flips_status(self, blacklist):
+        blacklist.run_crawl(TAKEDOWN_DAY - 7)
+        active_before = set(blacklist.active_domains())
+        blacklist.run_crawl(TAKEDOWN_DAY + 7)
+        seized = set(blacklist.seized_domains())
+        assert seized  # the FBI batch
+        assert seized <= active_before | set(blacklist._entries)
+        # Seized domains keep their history.
+        for domain in seized:
+            entry = blacklist.get(domain)
+            assert entry.first_seen_day <= TAKEDOWN_DAY - 7
+
+    def test_new_since_finds_replacement_domain(self, blacklist, universe):
+        blacklist.run_crawl(TAKEDOWN_DAY - 7)
+        blacklist.run_crawl(TAKEDOWN_DAY + 7)
+        new = blacklist.new_since(TAKEDOWN_DAY - 7)
+        spare = [d for d in universe.domains_of("A") if d.seized_day is None][0]
+        assert spare.name in new
+
+    def test_crawls_must_advance(self, blacklist):
+        blacklist.run_crawl(500)
+        with pytest.raises(ValueError):
+            blacklist.run_crawl(500)
+        with pytest.raises(ValueError):
+            blacklist.run_crawl(400)
+
+    def test_export_rows(self, blacklist):
+        blacklist.run_crawl(600)
+        rows = blacklist.export_rows()
+        assert len(rows) == len(blacklist)
+        assert set(rows[0]) == {"domain", "first_seen_day", "last_seen_day", "status"}
+
+    def test_unknown_domain(self, blacklist):
+        with pytest.raises(KeyError):
+            blacklist.get("nope.example")
+
+    def test_empty_range_rejected(self, blacklist):
+        with pytest.raises(ValueError):
+            blacklist.run_weekly(100, 100)

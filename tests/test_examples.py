@@ -1,0 +1,42 @@
+"""Smoke tests: every example script must run cleanly end to end.
+
+Examples are part of the public deliverable; this guards them against
+API drift. Each runs in a subprocess exactly as a user would run it.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_complete():
+    assert len(EXAMPLES) >= 6
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, f"{script} failed:\n{result.stderr[-2000:]}"
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_quickstart_output_mentions_victims():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert "confirmed DDoS victims" in result.stdout
+    assert "top victims" in result.stdout

@@ -1,0 +1,243 @@
+"""End-to-end tests of the experiment drivers.
+
+Each experiment runs once (module-scoped fixtures) at the small preset;
+assertions check the paper's *shape* conclusions: orderings, significance
+outcomes, and approximate ratios.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+CFG = ExperimentConfig(preset="small", seed=2018)
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return run_experiment("table1", CFG)
+
+
+@pytest.fixture(scope="module")
+def fig1a():
+    return run_experiment("fig1a", CFG)
+
+
+@pytest.fixture(scope="module")
+def fig1b():
+    return run_experiment("fig1b", CFG)
+
+
+@pytest.fixture(scope="module")
+def fig1c():
+    return run_experiment("fig1c", CFG)
+
+
+@pytest.fixture(scope="module")
+def fig2a():
+    return run_experiment("fig2a", CFG)
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return run_experiment("fig3", CFG)
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_covered(self):
+        expected = {
+            "table1", "fig1a", "fig1b", "fig1c", "fig2a", "fig2b", "fig2c",
+            "fig3", "fig4", "fig5", "selfattack", "landscape",
+            # Extensions (the paper's stated future work + related work).
+            "econ", "whatif", "attribution", "honeypot", "victimization",
+        }
+        assert expected == set(EXPERIMENTS)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            get_experiment("fig99")
+
+    def test_invalid_preset(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(preset="giant")
+
+
+class TestTable1(object):
+    def test_rows(self, table1):
+        rows = table1.get("rows")
+        assert [r["booter"] for r in rows] == ["A", "B", "C", "D"]
+        assert table1.get("seized") == ["A", "B"]
+
+    def test_render_contains_table(self, table1):
+        out = table1.render()
+        assert "$178.84" in out
+        assert "paper" in out
+
+
+class TestFig1a:
+    def test_ten_runs(self, fig1a):
+        assert len(fig1a.get("measurements")) == 10
+
+    def test_peak_in_paper_band(self, fig1a):
+        summary = fig1a.get("summary")
+        assert 4000 < summary.peak_mbps < 12_000  # paper: 7078 Mbps
+
+    def test_transit_dominates(self, fig1a):
+        summary = fig1a.get("summary")
+        assert summary.mean_transit_share > 0.6  # paper: 80.81%
+
+    def test_no_transit_increases_peers(self, fig1a):
+        assert fig1a.get("mean_peers_without_transit") > fig1a.get("mean_peers_with_transit")
+
+    def test_no_transit_reduces_volume(self, fig1a):
+        ms = fig1a.get("measurements")
+        assert (
+            ms["booter A NTP (no transit)"].mean_bps
+            < 0.8 * ms["booter A NTP"].mean_bps
+        )
+
+    def test_cldap_uses_most_reflectors(self, fig1a):
+        ms = fig1a.get("measurements")
+        cldap = ms["booter B CLDAP"].n_reflectors
+        ntp = ms["booter B NTP 1"].n_reflectors
+        assert cldap > 2 * ntp  # paper: 3519 vs ~346
+
+    def test_scatter_points_positive(self, fig1a):
+        for series in fig1a.get("scatter").values():
+            assert (series["mbps"] > 0).all()
+            assert series["reflectors"].size == series["mbps"].size
+
+
+class TestFig1b:
+    def test_vip_ntp_saturates_and_flaps(self, fig1b):
+        ntp = fig1b.get("ntp")
+        assert ntp.peak_offered_bps > 15e9  # paper: ~20 Gbps
+        assert ntp.flapped()
+
+    def test_memcached_around_10g_no_flap(self, fig1b):
+        mc = fig1b.get("memcached")
+        assert 6e9 < mc.peak_offered_bps < 16e9
+        assert not mc.flapped()
+
+    def test_flap_dropout_visible_in_series(self, fig1b):
+        series = fig1b.get("ntp_series_gbps")
+        # During the flap only peering traffic arrives: a clear dip.
+        assert series.min() < 0.5 * series.max()
+
+    def test_far_below_advertised(self, fig1b):
+        ntp = fig1b.get("ntp")
+        assert ntp.peak_offered_bps / 1e9 < 0.5 * 80  # promised 80-100 Gbps
+
+
+class TestFig1c:
+    def test_within_booter_exceeds_cross_booter(self, fig1c):
+        assert fig1c.get("stable_churn_overlap") > 2 * fig1c.get("cross_booter_overlap")
+
+    def test_replacement_breaks_overlap(self, fig1c):
+        assert fig1c.get("replacement_overlap") < 0.3
+        assert fig1c.get("replacement_overlap") < fig1c.get("stable_churn_overlap")
+
+    def test_same_day_nearly_identical(self, fig1c):
+        assert fig1c.get("same_day_overlap") > 0.9
+
+    def test_vip_uses_same_set(self, fig1c):
+        assert fig1c.get("vip_nonvip_overlap") == pytest.approx(1.0)
+
+    def test_small_fraction_of_pool(self, fig1c):
+        om = fig1c.get("overlap")
+        assert om.matrix.shape == (16, 16)
+        np.testing.assert_allclose(np.diag(om.matrix), 1.0)
+
+
+class TestFig2a:
+    def test_bimodal_split_near_half(self, fig2a):
+        frac = fig2a.get("frac_below_200")
+        assert 0.3 < frac < 0.85  # paper: 54%
+
+    def test_large_mode_is_monlist_sized(self, fig2a):
+        sizes = fig2a.get("sizes")
+        large = sizes[sizes > 400]
+        assert large.size > 0
+        assert np.median(large) == pytest.approx(487, abs=10)
+
+    def test_ecdf_monotone(self, fig2a):
+        ecdf = fig2a.get("ecdf")
+        assert (np.diff(ecdf.y) >= 0).all()
+
+
+class TestFig3:
+    def test_growth_over_time(self, fig3):
+        monthly = fig3.get("monthly")
+        assert len(monthly["2018-11"]) > len(monthly["2017-01"])
+
+    def test_new_domain_detected(self, fig3):
+        assert fig3.get("new_domains")
+        assert fig3.get("revival_entry_day_offset") is not None
+        assert fig3.get("revival_entry_day_offset") <= 7  # paper: 3 days
+
+    def test_domain_count_grows_despite_seizure(self, fig3):
+        counts = fig3.get("weekly_verified_counts")
+        assert counts[-1][1] >= counts[0][1]  # paper: total grows anyway
+
+    def test_identified_count_same_order_as_paper(self, fig3):
+        # Paper identified 58; small preset builds a ~45-domain market.
+        assert 25 < len(fig3.get("identified")) < 80
+
+    def test_relative_ranks_are_consecutive(self, fig3):
+        for month, entries in fig3.get("monthly").items():
+            ranks = [rank for rank, _, _ in entries]
+            assert ranks == list(range(1, len(ranks) + 1))
+
+
+class TestExtensions:
+    @pytest.fixture(scope="class")
+    def econ(self):
+        return run_experiment("econ", CFG)
+
+    @pytest.fixture(scope="class")
+    def whatif(self):
+        return run_experiment("whatif", CFG)
+
+    def test_econ_seizure_dips_market(self, econ):
+        reports = econ.get("reports")
+        assert reports["none"].dip_fraction() == 0.0
+        assert reports["domain seizure"].dip_fraction() > 0.05
+        assert reports["domain seizure"].revenue_loss() > 0
+
+    def test_econ_all_interventions_compared(self, econ):
+        assert set(econ.get("reports")) == {
+            "none", "domain seizure", "payment intervention", "operator arrest",
+        }
+
+    def test_whatif_takedown_recovers_remediation_does_not(self, whatif):
+        demand = whatif.get("demand_takedown")
+        capacity = whatif.get("capacity_remediation")
+        # Takedown: near-full recovery by the horizon.
+        assert demand[-1] > 0.9
+        # Remediation: sustained decline of attack capacity.
+        assert capacity[-1] < 0.5
+        assert capacity[-1] < capacity[0]
+
+    def test_whatif_combined_is_product(self, whatif):
+        np.testing.assert_allclose(
+            whatif.get("combined"),
+            whatif.get("demand_takedown") * whatif.get("capacity_remediation"),
+        )
+
+    def test_honeypot_coverage_monotone(self):
+        result = run_experiment("honeypot", CFG)
+        curve = result.get("curve")
+        values = [curve[k] for k in sorted(curve)]
+        assert values == sorted(values)
+        assert values[-1] > 0.9
+        assert result.get("victims_seen") <= result.get("victims_total")
+
+    def test_victimization_heavy_tail(self):
+        result = run_experiment("victimization", CFG)
+        assert 0.0 < result.get("repeat_share") < 1.0
+        assert result.get("top10_share") > 0.2  # concentration on few victims
+        assert 0.0 <= result.get("gini") <= 1.0
+        breakdown = result.get("breakdown")
+        assert breakdown
+        assert sum(v["share"] for v in breakdown.values()) == pytest.approx(1.0)

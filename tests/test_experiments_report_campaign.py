@@ -1,0 +1,87 @@
+"""Tests for the markdown report writer and the self-attack campaign specs."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.experiments.base import ExperimentResult, build_scenario
+from repro.experiments.campaign import (
+    FIG1C_SPECS,
+    NON_VIP_SPECS,
+    VIP_SPECS,
+    SelfAttackCampaign,
+)
+from repro.experiments.report import result_to_markdown, write_report
+from repro.experiments.runner import main
+
+
+class TestReportWriter:
+    def make_result(self):
+        return ExperimentResult(
+            experiment_id="demo",
+            title="a | piped title",
+            tables=["col\n---\n1"],
+            paper_vs_measured=[("metric|x", "1", "2")],
+        )
+
+    def test_markdown_section(self):
+        md = result_to_markdown(self.make_result())
+        assert md.startswith("## demo")
+        assert "a \\| piped title" in md
+        assert "| metric\\|x | 1 | 2 |" in md
+        assert "```" in md
+
+    def test_write_report(self, tmp_path):
+        path = write_report([self.make_result()], tmp_path / "report.md", title="T")
+        text = path.read_text()
+        assert text.startswith("# T")
+        assert "## demo" in text
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_report([], tmp_path / "x.md")
+
+    def test_runner_output_flag(self, tmp_path, capsys):
+        out = tmp_path / "run.md"
+        assert main(["table1", "--output", str(out)]) == 0
+        assert "report written" in capsys.readouterr().out
+        assert "## table1" in out.read_text()
+
+
+class TestCampaignSpecs:
+    def test_non_vip_has_ten_runs(self):
+        assert len(NON_VIP_SPECS) == 10
+        labels = [s.label for s in NON_VIP_SPECS]
+        assert len(set(labels)) == 10
+        # Three "no transit" runs, as in Figure 1(a)'s legend.
+        assert sum(not s.transit for s in NON_VIP_SPECS) == 3
+
+    def test_vip_has_two_runs_of_five_minutes(self):
+        assert len(VIP_SPECS) == 2
+        assert all(s.duration_s == 300.0 for s in VIP_SPECS)
+        assert {s.vector for s in VIP_SPECS} == {"ntp", "memcached"}
+
+    def test_fig1c_has_sixteen_dated_attacks(self):
+        assert len(FIG1C_SPECS) == 16
+        assert all(s.vector == "ntp" for s in FIG1C_SPECS)
+        assert all(s.date_label for s in FIG1C_SPECS)
+        # Booter B's list eras: era0 before 18-06-13, era1 after.
+        b_eras = {s.date_label: s.list_epoch for s in FIG1C_SPECS if s.booter == "B" and s.plan == "non-vip"}
+        assert b_eras["18-06-12"] == "era0"
+        assert b_eras["18-06-13"] == "era1"
+
+    def test_service_instances_cached(self):
+        campaign = SelfAttackCampaign(build_scenario(ExperimentConfig()))
+        a = campaign._service("B", "ntp", "era0")
+        b = campaign._service("B", "ntp", "era0")
+        assert a is b
+        c = campaign._service("B", "ntp", "era1")
+        assert c is not a
+
+    def test_reflector_sets_align_with_specs(self):
+        campaign = SelfAttackCampaign(build_scenario(ExperimentConfig()))
+        labeled = campaign.reflector_sets(FIG1C_SPECS[:4])
+        assert len(labeled) == 4
+        for spec, ips in labeled:
+            assert ips.size > 0
+            assert spec in FIG1C_SPECS

@@ -1,0 +1,82 @@
+"""Tests for the binary flow format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flows.binio import MAGIC, read_flows_binary, write_flows_binary
+from repro.flows.io import write_flows_csv
+from repro.flows.records import SCHEMA, FlowTable
+
+
+def random_table(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return FlowTable(
+        {
+            "time": rng.uniform(0, 1e9, n),
+            "src_ip": rng.integers(0, 2**32, n, dtype=np.uint32),
+            "dst_ip": rng.integers(0, 2**32, n, dtype=np.uint32),
+            "proto": rng.integers(0, 256, n).astype(np.uint8),
+            "src_port": rng.integers(0, 65536, n).astype(np.uint16),
+            "dst_port": rng.integers(0, 65536, n).astype(np.uint16),
+            "packets": rng.integers(0, 2**40, n),
+            "bytes": rng.integers(0, 2**50, n),
+            "src_asn": rng.integers(-1, 1 << 30, n),
+            "dst_asn": rng.integers(-1, 1 << 30, n),
+            "peer_asn": rng.integers(-1, 1 << 30, n),
+        }
+    )
+
+
+class TestRoundtrip:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 200), st.integers(0, 1000))
+    def test_exact_roundtrip(self, tmp_path_factory, n, seed):
+        path = tmp_path_factory.mktemp("bin") / "flows.bin"
+        table = random_table(n, seed)
+        assert write_flows_binary(table, path) == n
+        back = read_flows_binary(path)
+        for name in SCHEMA:
+            np.testing.assert_array_equal(table[name], back[name], err_msg=name)
+
+    def test_empty(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        write_flows_binary(FlowTable.empty(), path)
+        assert len(read_flows_binary(path)) == 0
+
+    def test_more_compact_than_csv(self, tmp_path):
+        table = random_table(2000)
+        bin_path = tmp_path / "f.bin"
+        csv_path = tmp_path / "f.csv"
+        write_flows_binary(table, bin_path)
+        write_flows_csv(table, csv_path)
+        assert bin_path.stat().st_size < 0.6 * csv_path.stat().st_size
+
+    def test_asn_clamping(self, tmp_path):
+        table = random_table(1).with_columns(src_asn=np.array([2**40]))
+        path = tmp_path / "c.bin"
+        write_flows_binary(table, path)
+        assert read_flows_binary(path)["src_asn"][0] == 2**31 - 1
+
+
+class TestValidation:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"NOPE" + b"\x00" * 12)
+        with pytest.raises(ValueError, match="magic"):
+            read_flows_binary(path)
+
+    def test_truncated_body(self, tmp_path):
+        path = tmp_path / "trunc.bin"
+        write_flows_binary(random_table(10), path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-8])
+        with pytest.raises(ValueError, match="truncated"):
+            read_flows_binary(path)
+
+    def test_too_short_for_header(self, tmp_path):
+        path = tmp_path / "tiny.bin"
+        path.write_bytes(b"RF")
+        with pytest.raises(ValueError, match="too short"):
+            read_flows_binary(path)

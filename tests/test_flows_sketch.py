@@ -1,0 +1,132 @@
+"""Tests for the HyperLogLog cardinality sketches."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flows.sketch import HyperLogLog, PerKeyCardinality
+
+
+class TestHyperLogLog:
+    def test_empty(self):
+        hll = HyperLogLog()
+        assert hll.cardinality() == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_item(self):
+        hll = HyperLogLog().add(42)
+        assert hll.cardinality() == pytest.approx(1.0, rel=0.1)
+
+    @pytest.mark.parametrize("true_n", [100, 5_000, 200_000])
+    def test_accuracy_within_error_bounds(self, true_n):
+        hll = HyperLogLog(precision=12)
+        items = np.random.default_rng(true_n).choice(10**12, size=true_n, replace=False)
+        hll.add(items)
+        estimate = hll.cardinality()
+        # Allow 5x the theoretical standard error.
+        assert abs(estimate - true_n) / true_n < 5 * hll.standard_error
+
+    def test_duplicates_not_double_counted(self):
+        hll = HyperLogLog(precision=12)
+        items = np.arange(1000)
+        for _ in range(5):
+            hll.add(items)
+        assert hll.cardinality() == pytest.approx(1000, rel=0.1)
+
+    def test_merge_equals_union(self):
+        a = HyperLogLog(precision=12).add(np.arange(0, 3000))
+        b = HyperLogLog(precision=12).add(np.arange(2000, 6000))
+        a.merge(b)
+        assert a.cardinality() == pytest.approx(6000, rel=0.1)
+
+    def test_merge_precision_mismatch(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(8).merge(HyperLogLog(10))
+
+    def test_copy_independent(self):
+        a = HyperLogLog().add(np.arange(100))
+        b = a.copy()
+        b.add(np.arange(100, 20_000))
+        assert a.cardinality() < b.cardinality()
+
+    def test_precision_validation(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(3)
+        with pytest.raises(ValueError):
+            HyperLogLog(19)
+
+    def test_add_empty_array(self):
+        hll = HyperLogLog()
+        hll.add(np.array([], dtype=np.uint64))
+        assert hll.cardinality() == pytest.approx(0.0, abs=1e-9)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(1, 3000), st.integers(0, 10_000))
+    def test_estimate_tracks_truth(self, n, seed):
+        rng = np.random.default_rng(seed)
+        items = rng.choice(10**10, size=n, replace=False)
+        hll = HyperLogLog(precision=12).add(items)
+        assert abs(hll.cardinality() - n) / n < 0.25
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_merge_commutative(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.integers(0, 10**9, 500)
+        y = rng.integers(0, 10**9, 500)
+        ab = HyperLogLog(10).add(x).merge(HyperLogLog(10).add(y))
+        ba = HyperLogLog(10).add(y).merge(HyperLogLog(10).add(x))
+        np.testing.assert_array_equal(ab.registers, ba.registers)
+
+
+class TestPerKeyCardinality:
+    def test_per_key_counting(self):
+        counter = PerKeyCardinality(precision=12)
+        keys = np.array([1] * 500 + [2] * 100)
+        items = np.concatenate([np.arange(500), np.arange(100)])
+        counter.update(keys, items)
+        assert counter.estimate(1) == pytest.approx(500, rel=0.15)
+        assert counter.estimate(2) == pytest.approx(100, rel=0.15)
+        assert counter.estimate(999) == 0.0
+        assert counter.keys() == [1, 2]
+
+    def test_streaming_matches_batch(self):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 5, 2000)
+        items = rng.integers(0, 800, 2000)
+        batch = PerKeyCardinality(precision=12)
+        batch.update(keys, items)
+        streaming = PerKeyCardinality(precision=12)
+        for start in range(0, 2000, 100):
+            streaming.update(keys[start : start + 100], items[start : start + 100])
+        for key in batch.keys():
+            assert streaming.estimate(key) == pytest.approx(batch.estimate(key), rel=1e-9)
+
+    def test_merge_across_days(self):
+        """Per-day sketches merge into the multi-day answer (the reason
+        the sketch exists: month-scale traces processed day by day)."""
+        day1 = PerKeyCardinality(precision=12)
+        day1.update(np.full(300, 7), np.arange(300))
+        day2 = PerKeyCardinality(precision=12)
+        day2.update(np.full(300, 7), np.arange(150, 450))  # half overlap
+        day1.merge(day2)
+        assert day1.estimate(7) == pytest.approx(450, rel=0.15)
+
+    def test_merge_precision_mismatch(self):
+        with pytest.raises(ValueError):
+            PerKeyCardinality(8).merge(PerKeyCardinality(10))
+
+    def test_misaligned_inputs(self):
+        with pytest.raises(ValueError):
+            PerKeyCardinality().update(np.array([1, 2]), np.array([1]))
+
+    def test_agrees_with_exact_counts_on_flow_data(self):
+        """Cross-check against exact per-destination unique sources."""
+        rng = np.random.default_rng(3)
+        dsts = rng.integers(0, 10, 5000).astype(np.uint32)
+        srcs = rng.integers(0, 2000, 5000).astype(np.uint32)
+        counter = PerKeyCardinality(precision=12)
+        counter.update(dsts, srcs)
+        for dst in np.unique(dsts):
+            exact = np.unique(srcs[dsts == dst]).size
+            assert counter.estimate(int(dst)) == pytest.approx(exact, rel=0.2)

@@ -1,0 +1,136 @@
+"""Tests for the AmpPot-style honeypot deployment."""
+
+import numpy as np
+import pytest
+
+from repro.booter.market import BooterMarket, MarketConfig
+from repro.booter.reflectors import ReflectorPool
+from repro.honeypot.amppot import HoneypotDeployment, HoneypotObservation, coverage_curve
+from repro.netmodel.topology import TopologyConfig, build_topology
+from repro.stats.rng import SeedSequenceTree
+
+
+@pytest.fixture(scope="module")
+def env():
+    reg, _ = build_topology(TopologyConfig(n_tier1=3, n_tier2=10, n_stub=60), SeedSequenceTree(1))
+    seeds = SeedSequenceTree(2)
+    pools = {
+        "ntp": ReflectorPool.generate("ntp", 2000, reg, seeds),
+        "dns": ReflectorPool.generate("dns", 1000, reg, seeds),
+    }
+    market = BooterMarket(
+        reg,
+        pools,
+        MarketConfig(
+            daily_attacks=60.0,
+            n_victims=200,
+            vector_mix=(("ntp", 0.8), ("dns", 0.2)),
+        ),
+        SeedSequenceTree(3),
+    )
+    events = [e for day in range(4) for e in market.attacks_for_day(day)]
+    return pools["ntp"], [e for e in events if e.vector == "ntp"]
+
+
+class TestDeployment:
+    def test_size_and_membership(self, env):
+        pool, _ = env
+        deployment = HoneypotDeployment(pool, 50, SeedSequenceTree(4))
+        assert deployment.n_honeypots == 50
+        assert np.isin(deployment.ips, pool.ips).all()
+
+    def test_validation(self, env):
+        pool, _ = env
+        with pytest.raises(ValueError):
+            HoneypotDeployment(pool, 0, SeedSequenceTree(0))
+        with pytest.raises(ValueError):
+            HoneypotDeployment(pool, len(pool) + 1, SeedSequenceTree(0))
+
+    def test_deterministic(self, env):
+        pool, _ = env
+        a = HoneypotDeployment(pool, 30, SeedSequenceTree(5))
+        b = HoneypotDeployment(pool, 30, SeedSequenceTree(5))
+        np.testing.assert_array_equal(a.ips, b.ips)
+
+
+class TestObservation:
+    def test_full_deployment_sees_everything(self, env):
+        pool, events = env
+        deployment = HoneypotDeployment(pool, len(pool), SeedSequenceTree(6))
+        assert deployment.coverage(events) == 1.0
+        observations = deployment.observe_all(events)
+        assert len(observations) == len(events)
+
+    def test_observation_contents(self, env):
+        pool, events = env
+        deployment = HoneypotDeployment(pool, len(pool), SeedSequenceTree(6))
+        event = events[0]
+        obs = deployment.observe(event)
+        assert obs.victim_ip == event.victim_ip
+        assert obs.vector == "ntp"
+        assert obs.start_time == event.start_time
+        assert obs.honeypots_hit == np.unique(event.reflector_ips).size
+        # Full deployment sees the whole trigger stream.
+        from repro.protocols.amplification import vector_by_name
+
+        full_rate = event.total_pps / vector_by_name("ntp").response_packets_per_request
+        assert obs.observed_request_pps == pytest.approx(full_rate, rel=1e-6)
+
+    def test_partial_deployment_sees_partial_rate(self, env):
+        pool, events = env
+        deployment = HoneypotDeployment(pool, 100, SeedSequenceTree(7))
+        observations = deployment.observe_all(events)
+        assert observations  # some attacks hit the honeypots
+        for obs in observations:
+            assert obs.observed_request_pps > 0
+            assert obs.honeypots_hit <= 100
+
+    def test_miss_returns_none(self, env):
+        pool, events = env
+        # A deployment of 1 misses most attacks.
+        deployment = HoneypotDeployment(pool, 1, SeedSequenceTree(8))
+        results = [deployment.observe(e) for e in events]
+        assert any(r is None for r in results)
+
+    def test_coverage_empty_events(self, env):
+        pool, _ = env
+        with pytest.raises(ValueError):
+            HoneypotDeployment(pool, 10, SeedSequenceTree(9)).coverage([])
+
+    def test_observation_validation(self):
+        with pytest.raises(ValueError):
+            HoneypotObservation(1, "ntp", 0.0, 1.0, honeypots_hit=0, observed_request_pps=1.0)
+
+
+class TestCoverage:
+    def test_measured_matches_analytic(self, env):
+        pool, events = env
+        deployment = HoneypotDeployment(pool, 60, SeedSequenceTree(10))
+        set_sizes = [np.unique(e.reflector_ips).size for e in events]
+        expected = float(
+            np.mean([deployment.expected_coverage(s) for s in set_sizes])
+        )
+        # Booters draw from list-source subsets (not uniform over the
+        # pool), so allow a generous band around the hypergeometric value.
+        measured = deployment.coverage(events)
+        assert abs(measured - expected) < 0.35
+
+    def test_coverage_curve_monotone(self, env):
+        pool, events = env
+        curve = coverage_curve(pool, events, [5, 50, 500, len(pool)], SeedSequenceTree(11))
+        values = list(curve.values())
+        assert values == sorted(values)
+        assert curve[len(pool)] == 1.0
+
+    def test_expected_coverage_bounds(self, env):
+        pool, _ = env
+        deployment = HoneypotDeployment(pool, 100, SeedSequenceTree(12))
+        assert 0.0 < deployment.expected_coverage(10) < deployment.expected_coverage(300) <= 1.0
+        assert deployment.expected_coverage(len(pool)) == 1.0
+        with pytest.raises(ValueError):
+            deployment.expected_coverage(0)
+
+    def test_curve_validation(self, env):
+        pool, events = env
+        with pytest.raises(ValueError):
+            coverage_curve(pool, events, [], SeedSequenceTree(0))

@@ -1,0 +1,156 @@
+"""Tests for IPv4 addressing and prefix-preserving anonymization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netmodel.addressing import (
+    Prefix,
+    PrefixAnonymizer,
+    format_ip,
+    parse_ip,
+    random_ips_in_prefix,
+)
+
+ips = st.integers(0, 0xFFFFFFFF)
+
+
+class TestParseFormat:
+    @pytest.mark.parametrize(
+        "text,value",
+        [("0.0.0.0", 0), ("255.255.255.255", 0xFFFFFFFF), ("192.0.2.1", 0xC0000201)],
+    )
+    def test_known_values(self, text, value):
+        assert parse_ip(text) == value
+        assert format_ip(value) == text
+
+    @given(ips)
+    def test_roundtrip(self, value):
+        assert parse_ip(format_ip(value)) == value
+
+    @pytest.mark.parametrize("bad", ["1.2.3", "1.2.3.4.5", "1.2.3.256", "a.b.c.d"])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_ip(bad)
+
+    def test_format_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            format_ip(1 << 32)
+
+
+class TestPrefix:
+    def test_parse_and_str(self):
+        p = Prefix.parse("198.51.100.0/24")
+        assert str(p) == "198.51.100.0/24"
+        assert p.size == 256
+
+    def test_contains(self):
+        p = Prefix.parse("10.0.0.0/8")
+        assert p.contains(parse_ip("10.200.3.4"))
+        assert not p.contains(parse_ip("11.0.0.0"))
+
+    def test_host_bits_rejected(self):
+        with pytest.raises(ValueError):
+            Prefix(parse_ip("10.0.0.1"), 24)
+
+    def test_missing_length_rejected(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("10.0.0.0")
+
+    def test_address_at(self):
+        p = Prefix.parse("192.0.2.0/24")
+        assert format_ip(p.address_at(0)) == "192.0.2.0"
+        assert format_ip(p.address_at(255)) == "192.0.2.255"
+        with pytest.raises(ValueError):
+            p.address_at(256)
+
+    def test_subprefixes(self):
+        p = Prefix.parse("10.0.0.0/14")
+        subs = p.subprefixes(16)
+        assert len(subs) == 4
+        assert subs[0] == Prefix.parse("10.0.0.0/16")
+        assert subs[-1] == Prefix.parse("10.3.0.0/16")
+
+    def test_subprefixes_invalid(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("10.0.0.0/16").subprefixes(8)
+
+    def test_zero_length_prefix(self):
+        p = Prefix(0, 0)
+        assert p.contains(parse_ip("203.0.113.9"))
+        assert p.size == 1 << 32
+
+
+class TestRandomIps:
+    def test_all_inside_prefix(self):
+        p = Prefix.parse("203.0.113.0/24")
+        rng = np.random.default_rng(0)
+        out = random_ips_in_prefix(p, rng, 500)
+        assert all(p.contains(int(ip)) for ip in out)
+
+    def test_unique_sampling(self):
+        p = Prefix.parse("203.0.113.0/28")
+        rng = np.random.default_rng(0)
+        out = random_ips_in_prefix(p, rng, 16, unique=True)
+        assert len(set(out.tolist())) == 16
+
+    def test_unique_too_many_rejected(self):
+        p = Prefix.parse("203.0.113.0/30")
+        with pytest.raises(ValueError):
+            random_ips_in_prefix(p, np.random.default_rng(0), 5, unique=True)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            random_ips_in_prefix(Prefix(0, 0), np.random.default_rng(0), -1)
+
+    def test_deterministic(self):
+        p = Prefix.parse("203.0.113.0/24")
+        a = random_ips_in_prefix(p, np.random.default_rng(3), 10)
+        b = random_ips_in_prefix(p, np.random.default_rng(3), 10)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestPrefixAnonymizer:
+    def test_deterministic(self):
+        anon = PrefixAnonymizer("key")
+        ip = parse_ip("192.0.2.55")
+        assert anon.anonymize(ip) == anon.anonymize(ip)
+
+    def test_key_dependence(self):
+        ip = parse_ip("192.0.2.55")
+        assert PrefixAnonymizer("k1").anonymize(ip) != PrefixAnonymizer("k2").anonymize(ip)
+
+    @settings(max_examples=30)
+    @given(ips, ips)
+    def test_prefix_preservation(self, a, b):
+        """Shared k-bit prefixes survive anonymization with exactly length k."""
+        anon = PrefixAnonymizer("shared-key")
+        ea, eb = anon.anonymize(a), anon.anonymize(b)
+
+        def common_prefix_len(x, y):
+            diff = x ^ y
+            return 32 if diff == 0 else 32 - diff.bit_length()
+
+        assert common_prefix_len(ea, eb) >= common_prefix_len(a, b)
+
+    def test_bijective_on_subnet(self):
+        anon = PrefixAnonymizer("key")
+        base = parse_ip("198.51.100.0")
+        mapped = {anon.anonymize(base + i) for i in range(256)}
+        assert len(mapped) == 256
+
+    def test_array_matches_scalar(self):
+        anon = PrefixAnonymizer("key")
+        arr = np.array([parse_ip("192.0.2.1"), parse_ip("10.1.2.3")], dtype=np.uint32)
+        out = anon.anonymize_array(arr)
+        assert int(out[0]) == anon.anonymize(int(arr[0]))
+        assert int(out[1]) == anon.anonymize(int(arr[1]))
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            PrefixAnonymizer("")
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            PrefixAnonymizer("key").anonymize(1 << 32)

@@ -1,0 +1,157 @@
+"""Tests for the measurement-AS router: ingress selection and BGP flaps."""
+
+import numpy as np
+import pytest
+
+from repro.netmodel.asn import ASRegistry, ASRole, AutonomousSystem
+from repro.netmodel.router import BGPSession, MeasurementRouter, RouteOrigin
+from repro.netmodel.topology import ASTopology
+
+
+@pytest.fixture
+def setup():
+    """Registry: transit T (AS1), member M (AS11) with customer C (AS21),
+    non-member N (AS31), measurement AS (AS99, member)."""
+    reg = ASRegistry()
+    reg.register(AutonomousSystem(1, ASRole.TIER1, name="T"))
+    reg.register(AutonomousSystem(11, ASRole.TIER2, ixp_member=True, name="M"))
+    reg.register(AutonomousSystem(21, ASRole.STUB, name="C"))
+    reg.register(AutonomousSystem(31, ASRole.STUB, name="N"))
+    reg.register(AutonomousSystem(99, ASRole.MEASUREMENT, ixp_member=True, name="ME"))
+    topo = ASTopology(reg)
+    topo.add_customer_provider(11, 1)
+    topo.add_customer_provider(21, 11)
+    topo.add_customer_provider(31, 1)
+    topo.add_customer_provider(99, 1)
+    topo.add_peering(11, 99, via_ixp=True)
+    return reg, topo
+
+
+class TestIngressSelection:
+    def test_member_arrives_via_peering(self, setup):
+        reg, topo = setup
+        router = MeasurementRouter(reg, topo, asn=99, transit_provider=1)
+        origin, peer = router.ingress_for_source(11)
+        assert origin is RouteOrigin.IXP_PEERING
+        assert peer == 11
+
+    def test_member_cone_arrives_via_that_member(self, setup):
+        reg, topo = setup
+        router = MeasurementRouter(reg, topo, asn=99, transit_provider=1)
+        origin, peer = router.ingress_for_source(21)
+        assert origin is RouteOrigin.IXP_PEERING
+        assert peer == 11
+
+    def test_non_member_uses_transit(self, setup):
+        reg, topo = setup
+        router = MeasurementRouter(reg, topo, asn=99, transit_provider=1)
+        origin, peer = router.ingress_for_source(31)
+        assert origin is RouteOrigin.TRANSIT
+        assert peer == 1
+
+    def test_transit_disabled_drops_non_members(self, setup):
+        reg, topo = setup
+        router = MeasurementRouter(reg, topo, asn=99, transit_provider=1, transit_enabled=False)
+        origin, peer = router.ingress_for_source(31)
+        assert origin is RouteOrigin.UNREACHABLE
+        assert peer is None
+        # Members still reachable.
+        assert router.ingress_for_source(11)[0] is RouteOrigin.IXP_PEERING
+
+    def test_vectorized_matches_scalar(self, setup):
+        reg, topo = setup
+        router = MeasurementRouter(reg, topo, asn=99, transit_provider=1)
+        srcs = np.array([11, 21, 31, 11])
+        origins, handover = router.ingress_for_sources(srcs)
+        np.testing.assert_array_equal(origins, [1, 1, 0, 1])
+        np.testing.assert_array_equal(handover, [11, 11, 1, 11])
+
+    def test_source_is_self_rejected(self, setup):
+        reg, topo = setup
+        router = MeasurementRouter(reg, topo, asn=99, transit_provider=1)
+        with pytest.raises(ValueError):
+            router.ingress_for_source(99)
+
+    def test_unknown_transit_provider_rejected(self, setup):
+        reg, topo = setup
+        with pytest.raises(KeyError):
+            MeasurementRouter(reg, topo, asn=99, transit_provider=777)
+
+
+class TestBGPSession:
+    def test_stays_up_below_capacity(self):
+        s = BGPSession(capacity_bps=10e9, trigger_seconds=3, holddown_seconds=5)
+        assert all(s.step(5e9) for _ in range(100))
+        assert s.flap_count == 0
+
+    def test_flaps_after_sustained_saturation(self):
+        s = BGPSession(capacity_bps=10e9, trigger_seconds=3, holddown_seconds=5)
+        states = [s.step(20e9) for _ in range(20)]
+        assert not all(states)
+        assert s.flap_count >= 1
+        # First trigger_seconds of saturation still up, then down.
+        assert states[0] and states[1]
+        assert not states[3]
+
+    def test_recovers_after_holddown(self):
+        s = BGPSession(capacity_bps=10e9, trigger_seconds=2, holddown_seconds=3)
+        for _ in range(2):
+            s.step(20e9)  # triggers the flap
+        downs = [s.step(1e9) for _ in range(3)]
+        assert not any(downs)
+        assert s.step(1e9)  # re-established
+
+    def test_short_burst_does_not_flap(self):
+        s = BGPSession(capacity_bps=10e9, trigger_seconds=5, holddown_seconds=5)
+        for _ in range(4):
+            assert s.step(20e9)
+        assert s.step(1e9)  # streak reset
+        assert s.flap_count == 0
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ValueError):
+            BGPSession(capacity_bps=1.0).step(-1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BGPSession(capacity_bps=0)
+        with pytest.raises(ValueError):
+            BGPSession(capacity_bps=1, trigger_seconds=0)
+
+
+class TestDeliverTimeseries:
+    def test_capacity_clipping(self, setup):
+        reg, topo = setup
+        router = MeasurementRouter(reg, topo, asn=99, transit_provider=1, capacity_bps=10e9)
+        transit = np.full(5, 4e9)
+        peering = np.full(5, 4e9)
+        delivered, up = router.deliver_timeseries(transit, peering)
+        assert (delivered <= 10e9).all()
+        assert up.all()
+
+    def test_flap_produces_dropout(self, setup):
+        """A sustained 20 Gbps offered load produces the Figure 1(b) dip."""
+        reg, topo = setup
+        router = MeasurementRouter(reg, topo, asn=99, transit_provider=1, capacity_bps=10e9)
+        n = 120
+        transit = np.full(n, 16e9)  # ~80% via transit, as in the paper
+        peering = np.full(n, 4e9)
+        delivered, up = router.deliver_timeseries(transit, peering)
+        assert not up.all()  # the session flapped
+        # While down, only peering traffic is delivered.
+        assert delivered[~up].max() == pytest.approx(4e9)
+
+    def test_transit_disabled_never_up(self, setup):
+        reg, topo = setup
+        router = MeasurementRouter(
+            reg, topo, asn=99, transit_provider=1, transit_enabled=False
+        )
+        delivered, up = router.deliver_timeseries(np.full(3, 1e9), np.full(3, 2e9))
+        assert not up.any()
+        np.testing.assert_allclose(delivered, 2e9)
+
+    def test_misaligned_series_rejected(self, setup):
+        reg, topo = setup
+        router = MeasurementRouter(reg, topo, asn=99, transit_provider=1)
+        with pytest.raises(ValueError):
+            router.deliver_timeseries(np.ones(3), np.ones(4))

@@ -1,0 +1,62 @@
+"""Smoke test at the full ("paper") preset.
+
+The figure tests run at the small preset; this verifies the default
+full-scale configuration also builds, generates, observes, and classifies
+coherently for a representative day — catching scale-dependent bugs
+(overflow, memory blowups, degenerate samplers) without the cost of a
+full multi-month run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.classify import ConservativeClassifier
+from repro.core.victims import victim_report
+from repro.scenario import Scenario, ScenarioConfig
+
+
+@pytest.fixture(scope="module")
+def paper_scenario():
+    return Scenario(ScenarioConfig())  # full defaults: scale 1.0
+
+
+@pytest.fixture(scope="module")
+def paper_day(paper_scenario):
+    return paper_scenario.day_traffic(40)
+
+
+class TestPaperPresetDay:
+    def test_volume_is_paper_scale(self, paper_day):
+        # ~100+ attacks/day, hundreds of thousands of flow records, and
+        # tens of billions of packets — the full-scale regime.
+        assert len(paper_day.events) > 60
+        assert len(paper_day.all_flows()) > 300_000
+        assert paper_day.attack.total_packets > 5e9
+
+    def test_no_counter_overflow(self, paper_day):
+        table = paper_day.all_flows()
+        assert (table["packets"] >= 0).all()
+        assert (table["bytes"] >= 0).all()
+
+    def test_observation_and_classification(self, paper_scenario, paper_day):
+        observed = paper_scenario.observe_day("ixp", paper_day)
+        assert len(observed) > 10_000
+        sampling = float(paper_scenario.config.ixp_sampling)
+        report = victim_report(observed, sampling_factor=sampling)
+        assert report.n_destinations > 20
+        confirmed = ConservativeClassifier().classify(report.stats, sampling_factor=sampling)
+        # Real attacks survive the conservative filter at full scale.
+        assert 0 < len(confirmed) <= report.n_destinations
+        assert report.max_victim_gbps() > 1.0
+
+    def test_all_vantage_points_consistent(self, paper_scenario, paper_day):
+        counts = {
+            vantage: len(paper_scenario.observe_day(vantage, paper_day))
+            for vantage in ("ixp", "tier2")
+        }
+        assert all(c > 0 for c in counts.values())
+
+    def test_takedown_day_still_generates(self, paper_scenario):
+        traffic = paper_scenario.day_traffic(paper_scenario.config.takedown_day + 1)
+        assert len(traffic.events) > 0
+        assert traffic.scan.total_packets > 0  # survivors keep scanning

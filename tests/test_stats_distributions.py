@@ -1,0 +1,132 @@
+"""Tests for parametric samplers."""
+
+import numpy as np
+import pytest
+
+from repro.stats.distributions import (
+    DiscreteDistribution,
+    LogNormal,
+    Mixture,
+    ParetoTail,
+    TruncatedNormal,
+)
+
+
+def rng():
+    return np.random.default_rng(123)
+
+
+class TestLogNormal:
+    def test_median_calibration(self):
+        dist = LogNormal(median=1000.0, sigma=0.5)
+        sample = dist.sample(rng(), 200_000)
+        assert np.median(sample) == pytest.approx(1000.0, rel=0.02)
+
+    def test_analytic_mean(self):
+        dist = LogNormal(median=100.0, sigma=0.8)
+        sample = dist.sample(rng(), 400_000)
+        assert sample.mean() == pytest.approx(dist.mean(), rel=0.03)
+
+    def test_positive(self):
+        assert (LogNormal(5, 2).sample(rng(), 1000) > 0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogNormal(0, 1)
+        with pytest.raises(ValueError):
+            LogNormal(1, -1)
+
+
+class TestParetoTail:
+    def test_support(self):
+        dist = ParetoTail(xm=2.0, alpha=1.5)
+        assert (dist.sample(rng(), 10_000) >= 2.0).all()
+
+    def test_quantile_inverse(self):
+        dist = ParetoTail(xm=1.0, alpha=2.0)
+        sample = dist.sample(rng(), 200_000)
+        q90 = dist.quantile(0.9)
+        assert np.mean(sample <= q90) == pytest.approx(0.9, abs=0.01)
+
+    def test_heavy_tail(self):
+        dist = ParetoTail(xm=1.0, alpha=1.1)
+        sample = dist.sample(rng(), 100_000)
+        assert sample.max() > 100  # occasional huge victims
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParetoTail(0, 1)
+        with pytest.raises(ValueError):
+            ParetoTail(1, 0)
+        with pytest.raises(ValueError):
+            ParetoTail(1, 1).quantile(1.0)
+
+
+class TestTruncatedNormal:
+    def test_bounds(self):
+        dist = TruncatedNormal(mean=100, std=50, low=0, high=150)
+        sample = dist.sample(rng(), 10_000)
+        assert sample.min() >= 0
+        assert sample.max() <= 150
+
+    def test_mean_roughly_preserved_mild_truncation(self):
+        dist = TruncatedNormal(mean=100, std=10, low=0, high=1e9)
+        assert dist.sample(rng(), 100_000).mean() == pytest.approx(100, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TruncatedNormal(0, -1)
+        with pytest.raises(ValueError):
+            TruncatedNormal(0, 1, low=5, high=5)
+
+
+class TestDiscreteDistribution:
+    def test_frequencies(self):
+        dist = DiscreteDistribution.of([(486.0, 0.6), (490.0, 0.4)])
+        sample = dist.sample(rng(), 100_000)
+        assert np.mean(sample == 486.0) == pytest.approx(0.6, abs=0.01)
+
+    def test_mean(self):
+        dist = DiscreteDistribution.of([(1.0, 0.5), (3.0, 0.5)])
+        assert dist.mean() == pytest.approx(2.0)
+
+    def test_only_declared_values(self):
+        dist = DiscreteDistribution.of([(7.0, 1.0)])
+        assert set(np.unique(dist.sample(rng(), 100))) == {7.0}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiscreteDistribution((1.0,), (0.5,))  # doesn't sum to 1
+        with pytest.raises(ValueError):
+            DiscreteDistribution((1.0, 2.0), (1.0,))  # length mismatch
+        with pytest.raises(ValueError):
+            DiscreteDistribution((), ())
+        with pytest.raises(ValueError):
+            DiscreteDistribution((1.0, 2.0), (1.5, -0.5))
+
+
+class TestMixture:
+    def test_bimodal(self):
+        small = TruncatedNormal(90, 10, low=0)
+        large = DiscreteDistribution.of([(486.0, 0.5), (490.0, 0.5)])
+        mix = Mixture(components=(small, large), weights=(0.54, 0.46))
+        sample = mix.sample(rng(), 100_000)
+        frac_small = np.mean(sample < 200)
+        assert frac_small == pytest.approx(0.54, abs=0.01)
+
+    def test_default_equal_weights(self):
+        mix = Mixture(components=(TruncatedNormal(0, 1), TruncatedNormal(100, 1)))
+        sample = mix.sample(rng(), 10_000)
+        assert np.mean(sample > 50) == pytest.approx(0.5, abs=0.03)
+
+    def test_sample_size(self):
+        mix = Mixture(components=(TruncatedNormal(0, 1),))
+        assert mix.sample(rng(), 137).shape == (137,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Mixture(components=())
+        with pytest.raises(ValueError):
+            Mixture(components=(TruncatedNormal(0, 1),), weights=(0.5, 0.5))
+        with pytest.raises(ValueError):
+            Mixture(components=(TruncatedNormal(0, 1),), weights=(0.9,))

@@ -1,0 +1,94 @@
+"""Tests for ECDF/PDF helpers and bootstrap CIs."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.stats.bootstrap import bootstrap_mean_ci, bootstrap_ratio_ci
+from repro.stats.ecdf import Ecdf, empirical_pdf
+
+
+class TestEcdf:
+    def test_basic(self):
+        e = Ecdf.from_sample(np.array([1.0, 2.0, 2.0, 3.0]))
+        assert e.evaluate(0.5) == 0.0
+        assert e.evaluate(1.0) == pytest.approx(0.25)
+        assert e.evaluate(2.0) == pytest.approx(0.75)
+        assert e.evaluate(10.0) == 1.0
+
+    def test_vector_evaluate(self):
+        e = Ecdf.from_sample(np.array([1.0, 2.0, 3.0, 4.0]))
+        np.testing.assert_allclose(e.evaluate(np.array([1.0, 3.0])), [0.25, 0.75])
+
+    def test_quantile(self):
+        e = Ecdf.from_sample(np.arange(1, 101, dtype=float))
+        assert e.quantile(0.5) == 50.0
+        assert e.quantile(1.0) == 100.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Ecdf.from_sample(np.array([]))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            Ecdf.from_sample(np.array([1.0, np.nan]))
+
+    def test_quantile_validation(self):
+        e = Ecdf.from_sample(np.array([1.0]))
+        with pytest.raises(ValueError):
+            e.quantile(0.0)
+
+    @given(hnp.arrays(np.float64, st.integers(1, 50), elements=st.floats(-100, 100)))
+    def test_monotone_and_bounded(self, sample):
+        e = Ecdf.from_sample(sample)
+        assert (np.diff(e.y) >= 0).all()
+        assert e.y[-1] == pytest.approx(1.0)
+        assert e.y[0] > 0
+
+
+class TestEmpiricalPdf:
+    def test_integrates_to_one(self):
+        sample = np.random.default_rng(0).normal(0, 1, 10_000)
+        centers, density = empirical_pdf(sample, bins=40)
+        width = centers[1] - centers[0]
+        assert np.sum(density * width) == pytest.approx(1.0, rel=1e-6)
+
+    def test_range_restriction(self):
+        centers, _ = empirical_pdf(np.array([1.0, 2.0, 3.0]), bins=4, range_=(0, 4))
+        assert centers.min() >= 0 and centers.max() <= 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_pdf(np.array([]))
+
+
+class TestBootstrap:
+    def test_mean_ci_covers_truth(self):
+        rng = np.random.default_rng(5)
+        sample = rng.normal(50, 5, 200)
+        ci = bootstrap_mean_ci(sample, rng)
+        assert ci.contains(50.0)
+        assert ci.low < ci.estimate < ci.high
+
+    def test_ratio_ci(self):
+        rng = np.random.default_rng(6)
+        before = rng.normal(100, 10, 60)
+        after = rng.normal(25, 5, 60)
+        ci = bootstrap_ratio_ci(before, after, rng)
+        assert ci.contains(ci.estimate)
+        assert ci.estimate == pytest.approx(0.25, abs=0.05)
+        assert ci.width < 0.2
+
+    def test_mean_ci_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci(np.array([1.0]), rng)
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci(np.array([1.0, 2.0]), rng, confidence=1.0)
+
+    def test_ratio_ci_zero_before_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            bootstrap_ratio_ci(np.zeros(5), np.ones(5), rng)

@@ -1,0 +1,73 @@
+"""Tests for the Mann-Whitney U test, cross-checked against scipy."""
+
+import numpy as np
+import pytest
+import scipy.stats
+
+from repro.stats.mannwhitney import mannwhitney_one_tailed
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_scipy_asymptotic(self, seed):
+        rng = np.random.default_rng(seed)
+        before = rng.normal(100, 20, 35)
+        after = rng.normal(80, 20, 30)
+        ours = mannwhitney_one_tailed(before, after)
+        ref = scipy.stats.mannwhitneyu(
+            before, after, alternative="greater", method="asymptotic"
+        )
+        assert ours.u_statistic == pytest.approx(ref.statistic)
+        assert ours.p_value == pytest.approx(ref.pvalue, rel=1e-9)
+
+    def test_matches_scipy_with_ties(self):
+        before = np.array([5.0, 5.0, 7.0, 7.0, 9.0, 10.0, 10.0])
+        after = np.array([4.0, 5.0, 5.0, 6.0, 7.0, 7.0])
+        ours = mannwhitney_one_tailed(before, after)
+        ref = scipy.stats.mannwhitneyu(
+            before, after, alternative="greater", method="asymptotic"
+        )
+        assert ours.p_value == pytest.approx(ref.pvalue, rel=1e-9)
+
+
+class TestBehaviour:
+    def test_detects_clear_reduction(self):
+        rng = np.random.default_rng(1)
+        before = rng.lognormal(np.log(1000), 0.2, 30)
+        after = rng.lognormal(np.log(300), 0.2, 30)
+        res = mannwhitney_one_tailed(before, after)
+        assert res.significant
+        assert res.reduction_ratio == pytest.approx(0.3, abs=0.08)
+
+    def test_null_when_same(self):
+        rng = np.random.default_rng(2)
+        before = rng.lognormal(0, 1, 40)
+        after = rng.lognormal(0, 1, 40)
+        assert not mannwhitney_one_tailed(before, after).significant
+
+    def test_robust_to_heavy_tails_where_welch_is_not(self):
+        """A single colossal outlier in the 'after' window can mask a real
+        reduction from a mean-based test; the rank test shrugs it off."""
+        from repro.stats.welch import welch_one_tailed
+
+        rng = np.random.default_rng(3)
+        before = rng.normal(1000, 50, 30)
+        after = rng.normal(400, 50, 30)
+        after[5] = 2e6  # one absurd outlier day
+        assert not welch_one_tailed(before, after).significant
+        assert mannwhitney_one_tailed(before, after).significant
+
+    def test_identical_constant_samples(self):
+        res = mannwhitney_one_tailed(np.full(5, 7.0), np.full(5, 7.0))
+        assert not res.significant
+        assert res.p_value == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mannwhitney_one_tailed(np.array([1.0]), np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            mannwhitney_one_tailed(np.ones(3), np.ones(3), alpha=0.0)
+
+    def test_reduction_ratio_zero_before(self):
+        res = mannwhitney_one_tailed(np.zeros(5), np.ones(5))
+        assert np.isnan(res.reduction_ratio)

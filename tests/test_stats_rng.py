@@ -1,0 +1,79 @@
+"""Tests for deterministic RNG derivation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.rng import SeedSequenceTree, derive_rng, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", "b") == derive_seed(42, "a", "b")
+
+    def test_distinct_paths_distinct_seeds(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_distinct_roots_distinct_seeds(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_length_prefixing_prevents_collisions(self):
+        assert derive_seed(0, "ab", "c") != derive_seed(0, "a", "bc")
+
+    def test_integer_path_components(self):
+        assert derive_seed(0, 1, 2) == derive_seed(0, "1", "2")
+
+    def test_negative_root_seed(self):
+        assert derive_seed(-5, "x") == derive_seed(-5, "x")
+        assert derive_seed(-5, "x") != derive_seed(5, "x")
+
+    def test_empty_path(self):
+        assert isinstance(derive_seed(7), int)
+
+    @given(st.integers(), st.lists(st.text(max_size=10), max_size=4))
+    def test_always_nonnegative_64bit(self, root, path):
+        seed = derive_seed(root, *path)
+        assert 0 <= seed < 2**64
+
+
+class TestDeriveRng:
+    def test_same_path_same_stream(self):
+        a = derive_rng(9, "x").random(5)
+        b = derive_rng(9, "x").random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_path_different_stream(self):
+        a = derive_rng(9, "x").random(5)
+        b = derive_rng(9, "y").random(5)
+        assert not np.array_equal(a, b)
+
+
+class TestSeedSequenceTree:
+    def test_child_extends_path(self):
+        tree = SeedSequenceTree(3)
+        assert tree.child("a", "b").path == ("a", "b")
+        assert tree.child("a").child("b").path == ("a", "b")
+
+    def test_child_chain_equals_flat_child(self):
+        tree = SeedSequenceTree(3)
+        assert tree.child("a").child("b").seed() == tree.child("a", "b").seed()
+
+    def test_rng_matches_derive_rng(self):
+        tree = SeedSequenceTree(11, ("base",))
+        a = tree.child("sub").rng().random(3)
+        b = derive_rng(11, "base", "sub").random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_equality_and_hash(self):
+        assert SeedSequenceTree(1, ("a",)) == SeedSequenceTree(1, ("a",))
+        assert SeedSequenceTree(1, ("a",)) != SeedSequenceTree(1, ("b",))
+        assert hash(SeedSequenceTree(1, ("a",))) == hash(SeedSequenceTree(1, ("a",)))
+
+    def test_sibling_independence(self):
+        tree = SeedSequenceTree(0)
+        draws = {tuple(tree.child("s", i).rng().integers(0, 1 << 30, 4)) for i in range(20)}
+        assert len(draws) == 20
+
+    def test_root_seed_property(self):
+        assert SeedSequenceTree(17).root_seed == 17

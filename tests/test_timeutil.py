@@ -1,0 +1,77 @@
+"""Tests for calendar helpers."""
+
+import datetime as dt
+
+import pytest
+
+from repro.timeutil import (
+    DOMAIN_EPOCH,
+    TAKEDOWN_DATE,
+    TRAFFIC_EPOCH,
+    date_of,
+    day_index,
+    iter_months,
+    month_key,
+    parse_date,
+)
+
+
+class TestAnchors:
+    def test_takedown_is_dec_19(self):
+        assert TAKEDOWN_DATE == dt.date(2018, 12, 19)
+
+    def test_takedown_is_day_80_of_traffic_study(self):
+        """The 122-day series starts 2018-09-30; the seizure is day 80."""
+        assert day_index(TAKEDOWN_DATE) == 80
+
+    def test_traffic_window_is_122_days(self):
+        # 122 days starting 2018-09-30: 2019-01-30 is the exclusive end.
+        assert day_index(dt.date(2019, 1, 30)) == 122
+
+    def test_domain_epoch(self):
+        assert DOMAIN_EPOCH == dt.date(2016, 8, 1)
+
+
+class TestConversions:
+    def test_roundtrip(self):
+        for day in (0, 1, 80, 121, 500):
+            assert day_index(date_of(day)) == day
+
+    def test_negative_days(self):
+        before = dt.date(2018, 9, 27)  # tier-2 trace start, 3 days early
+        assert day_index(before) == -3
+
+    def test_explicit_epoch(self):
+        assert day_index(dt.date(2016, 8, 2), DOMAIN_EPOCH) == 1
+        assert date_of(1, DOMAIN_EPOCH) == dt.date(2016, 8, 2)
+
+    def test_parse_date(self):
+        assert parse_date("2018-12-19") == TAKEDOWN_DATE
+        with pytest.raises(ValueError):
+            parse_date("19/12/2018")
+
+    def test_month_key(self):
+        assert month_key(dt.date(2018, 12, 19)) == "2018-12"
+        assert month_key(dt.date(2019, 1, 1)) == "2019-01"
+
+
+class TestIterMonths:
+    def test_within_year(self):
+        assert iter_months(dt.date(2018, 10, 5), dt.date(2018, 12, 31)) == [
+            "2018-10",
+            "2018-11",
+            "2018-12",
+        ]
+
+    def test_across_years(self):
+        months = iter_months(dt.date(2016, 8, 1), dt.date(2019, 4, 30))
+        assert months[0] == "2016-08"
+        assert months[-1] == "2019-04"
+        assert len(months) == 33
+
+    def test_single_month(self):
+        assert iter_months(dt.date(2018, 1, 1), dt.date(2018, 1, 31)) == ["2018-01"]
+
+    def test_reversed_rejected(self):
+        with pytest.raises(ValueError):
+            iter_months(dt.date(2019, 1, 1), dt.date(2018, 1, 1))
