@@ -7,6 +7,11 @@ aggregation, and classification. Useful for catching regressions when
 the substrate changes.
 """
 
+import json
+import os
+import time
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -86,3 +91,53 @@ def test_perf_streaming_ingest(benchmark, scenario, day_traffic):
 
     analyzer = benchmark(ingest)
     assert analyzer.daily_series("ntp_to")[40] > 0
+
+
+def test_perf_parallel_collect(scenario):
+    """jobs=1 vs jobs=2 day collection: bit-identical, and timed.
+
+    Emits ``benchmarks/BENCH_parallel.json`` with both wall-clock times
+    and the speedup. The speedup assertion only applies with >= 2 CPU
+    cores: on a single-core machine a process pool cannot beat the
+    serial loop (it adds fork + pickle overhead), so the run records
+    the numbers and the parity check instead.
+    """
+    from repro.core.pipeline import TrafficSelector, collect_daily_port_series
+
+    selectors = [
+        TrafficSelector("ntp_to", 123, "to_reflectors"),
+        TrafficSelector("ntp_from", 123, "from_reflectors"),
+        TrafficSelector("dns_to", 53, "to_reflectors"),
+    ]
+    day_range = (40, 60)
+
+    start = time.perf_counter()
+    serial = collect_daily_port_series(scenario, "ixp", selectors, day_range=day_range)
+    jobs1_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = collect_daily_port_series(
+        scenario, "ixp", selectors, day_range=day_range, jobs=2
+    )
+    jobs2_s = time.perf_counter() - start
+
+    for selector in selectors:
+        np.testing.assert_array_equal(serial.get(selector.name), parallel.get(selector.name))
+
+    cores = os.cpu_count() or 1
+    speedup = jobs1_s / jobs2_s if jobs2_s > 0 else float("inf")
+    payload = {
+        "benchmark": "parallel_collect_daily_port_series",
+        "day_range": list(day_range),
+        "cpu_count": cores,
+        "jobs1_s": round(jobs1_s, 4),
+        "jobs2_s": round(jobs2_s, 4),
+        "speedup_jobs2": round(speedup, 3),
+        "bit_identical": True,
+    }
+    out = Path(__file__).parent / "BENCH_parallel.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nparallel collect: jobs=1 {jobs1_s:.2f}s, jobs=2 {jobs2_s:.2f}s, "
+          f"speedup {speedup:.2f}x on {cores} core(s)")
+    if cores >= 2:
+        assert speedup > 1.3, payload

@@ -13,6 +13,7 @@ from repro.core.classify import (
     OptimisticClassifier,
 )
 from repro.core.overlap import OverlapMatrix, reflector_overlap_matrix
+from repro.core.parallel import DayResultCache, DaySpec, day_cache
 from repro.core.pipeline import DailyPortSeries, TrafficSelector, collect_daily_port_series
 from repro.core.selfattack import SelfAttackSummary, summarize_measurements
 from repro.core.takedown_analysis import TakedownReport, analyze_takedown
@@ -22,6 +23,8 @@ __all__ = [
     "ClassifierThresholds",
     "ConservativeClassifier",
     "DailyPortSeries",
+    "DayResultCache",
+    "DaySpec",
     "OptimisticClassifier",
     "OverlapMatrix",
     "SelfAttackSummary",
@@ -31,6 +34,7 @@ __all__ = [
     "analyze_takedown",
     "attacks_per_hour",
     "collect_daily_port_series",
+    "day_cache",
     "reflector_overlap_matrix",
     "summarize_measurements",
     "victim_report",

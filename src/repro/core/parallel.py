@@ -1,0 +1,462 @@
+"""Parallel day-pipeline execution and a content-addressed day-result cache.
+
+Every per-day random stream in the simulator is derived from the
+scenario's :class:`~repro.stats.rng.SeedSequenceTree` by *path* —
+``("traffic", day)``, ``("observe", vantage, day)``, ``("demand", day)``
+and so on — never by drawing from a shared generator. A day's traffic
+therefore does not depend on which days were generated before it, in
+which order, or in which process. This module exploits that:
+
+* :class:`DaySpec` is a picklable recipe for one scenario-day (config +
+  day index + vantage + takedown), shipped to worker processes instead
+  of the live :class:`~repro.scenario.scenario.Scenario`;
+* each worker process reconstructs (or, under ``fork``, inherits) the
+  scenario once per config ``content_hash()`` and reuses it for every
+  day it executes;
+* per-day results merge through order-independent reductions — series
+  arrays keyed by day, HyperLogLog register max, per-destination
+  max/sum — so ``jobs=1`` and ``jobs=N`` are **bit-identical**.
+
+:class:`DayResultCache` is a process-wide LRU keyed by
+``(kind, config content hash, takedown, vantage, day, with_takedown)``.
+Experiments sharing day ranges (fig2b/fig2c/landscape, fig5 after fig2,
+victimization after honeypot) reuse each other's per-day work within a
+``repro-experiments`` run instead of regenerating the same days.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from functools import partial
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.booter.takedown import TakedownScenario
+from repro.flows.records import FlowTable
+from repro.scenario.config import ScenarioConfig
+from repro.scenario.scenario import Scenario
+
+__all__ = [
+    "DaySpec",
+    "DayResultCache",
+    "day_cache",
+    "resolve_jobs",
+    "register_scenario",
+    "daily_port_counts",
+    "observed_days",
+    "streaming_ingest",
+    "day_events",
+    "day_attack_tables",
+]
+
+
+# -- day specs and worker-side scenario reconstruction ------------------------
+
+
+@dataclass(frozen=True)
+class DaySpec:
+    """Picklable recipe for one scenario-day of work.
+
+    Carries everything a worker process needs to regenerate the day
+    bit-identically: the full scenario config, the day index, the
+    vantage point (``None`` for ground-truth-only tasks), the takedown
+    flag, and the (possibly customized) takedown scenario to apply.
+    """
+
+    config: ScenarioConfig
+    day: int
+    vantage: str | None
+    with_takedown: bool
+    takedown: TakedownScenario | None = None
+
+
+#: Per-process scenario memo, keyed by config content hash. Under the
+#: (Linux-default) fork start method, registering the parent's scenario
+#: before the pool spawns lets every worker inherit the built world for
+#: free instead of re-running topology/pool/market construction.
+_WORKER_SCENARIOS: dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario) -> str:
+    """Memoize a built scenario for day executors in this process.
+
+    Returns the config content hash used as the memo key. Called in the
+    parent right before a pool is created so fork-children inherit the
+    constructed world; under spawn, workers rebuild from the config.
+    """
+    key = scenario.config.content_hash()
+    _WORKER_SCENARIOS[key] = scenario
+    return key
+
+
+def _scenario_for(config: ScenarioConfig) -> Scenario:
+    key = config.content_hash()
+    scenario = _WORKER_SCENARIOS.get(key)
+    if scenario is None:
+        scenario = _WORKER_SCENARIOS[key] = Scenario(config)
+    return scenario
+
+
+def _materialize(spec: DaySpec) -> Scenario:
+    scenario = _scenario_for(spec.config)
+    if spec.takedown is not None and scenario.takedown != spec.takedown:
+        scenario.takedown = spec.takedown
+    return scenario
+
+
+# -- worker task functions (module-level: must pickle) ------------------------
+
+
+def _observed_task(spec: DaySpec) -> FlowTable:
+    scenario = _materialize(spec)
+    traffic = scenario.day_traffic(spec.day, with_takedown=spec.with_takedown)
+    return scenario.observe_day(spec.vantage, traffic)
+
+
+def _port_counts_task(spec: DaySpec, selectors: Sequence[Any]) -> dict[str, int]:
+    observed = _observed_task(spec)
+    return {s.name: s.packets(observed) for s in selectors}
+
+
+def _attack_table_task(spec: DaySpec) -> FlowTable:
+    scenario = _materialize(spec)
+    traffic = scenario.day_traffic(spec.day, with_takedown=spec.with_takedown)
+    return traffic.attack
+
+
+def _ingest_chunk_task(chunk: tuple[tuple[DaySpec, ...], Any]) -> Any:
+    specs, analyzer = chunk
+    for spec in specs:
+        analyzer.ingest_day(spec.day, _observed_task(spec))
+    return analyzer
+
+
+# -- the executor -------------------------------------------------------------
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``jobs`` request: ``None``/``0`` means all CPU cores."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def _pool_map(fn: Callable[[Any], Any], items: list[Any], jobs: int) -> list[Any]:
+    """Map ``fn`` over ``items`` with up to ``jobs`` worker processes.
+
+    Results come back in submission order, so callers can zip them with
+    their inputs; with one item (or one job) the map runs inline.
+    """
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        return list(pool.map(fn, items))
+
+
+# -- the day-result cache ------------------------------------------------------
+
+
+class DayResultCache:
+    """Bounded LRU cache of per-day results, content-addressed by config.
+
+    Values are whatever the pipeline helpers store per day: observed
+    flow tables, per-selector packet counts, ground-truth event lists or
+    attack tables. Keys embed the scenario config's ``content_hash()``
+    (seed included) and the takedown scenario, so two different worlds
+    never collide and two identically-configured scenarios share.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._data: OrderedDict[tuple, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple) -> Any | None:
+        """The cached value for ``key``, or ``None`` (counts hit/miss)."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: tuple, value: Any) -> None:
+        """Insert (or refresh) an entry, evicting the least recently used."""
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.max_entries:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the hit/miss counters."""
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict[str, int]:
+        """Counters for reporting: entries, hits, misses."""
+        return {"entries": len(self._data), "hits": self.hits, "misses": self.misses}
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+_DAY_CACHE = DayResultCache()
+
+
+def day_cache() -> DayResultCache:
+    """The process-wide day-result cache singleton."""
+    return _DAY_CACHE
+
+
+def _context(scenario: Scenario) -> tuple[str, TakedownScenario]:
+    return scenario.config.content_hash(), scenario.takedown
+
+
+def _key(
+    kind: str,
+    config_hash: str,
+    takedown: TakedownScenario,
+    vantage: str | None,
+    day: int,
+    with_takedown: bool,
+    extra: Any = None,
+) -> tuple:
+    # The takedown scenario is a frozen dataclass; its repr is a stable
+    # fingerprint of every behavioural parameter.
+    return (kind, config_hash, repr(takedown), vantage, int(day), bool(with_takedown), extra)
+
+
+# -- public day-pipeline helpers ----------------------------------------------
+
+
+def observed_days(
+    scenario: Scenario,
+    vantage: str,
+    days: Iterable[int],
+    with_takedown: bool = True,
+    jobs: int = 1,
+    cache: bool = False,
+) -> list[FlowTable]:
+    """One observed flow table per day, in ``days`` order.
+
+    Cache-aware and parallel: cached days are returned immediately, the
+    rest fan out over the process pool (``jobs``) or run inline.
+    """
+    days = [int(d) for d in days]
+    config_hash, takedown = _context(scenario)
+    results: dict[int, FlowTable] = {}
+    missing: list[int] = []
+    for day in days:
+        if cache:
+            hit = _DAY_CACHE.get(_key("observed", config_hash, takedown, vantage, day, with_takedown))
+            if hit is not None:
+                results[day] = hit
+                continue
+        missing.append(day)
+    if missing:
+        n_jobs = resolve_jobs(jobs)
+        specs = [DaySpec(scenario.config, d, vantage, with_takedown, takedown) for d in missing]
+        if n_jobs > 1:
+            register_scenario(scenario)
+            tables = _pool_map(_observed_task, specs, n_jobs)
+        else:
+            tables = []
+            for spec in specs:
+                traffic = scenario.day_traffic(spec.day, with_takedown=with_takedown)
+                tables.append(scenario.observe_day(vantage, traffic))
+        for day, table in zip(missing, tables):
+            results[day] = table
+            if cache:
+                _DAY_CACHE.put(
+                    _key("observed", config_hash, takedown, vantage, day, with_takedown), table
+                )
+    return [results[day] for day in days]
+
+
+def daily_port_counts(
+    scenario: Scenario,
+    vantage: str,
+    selectors: Sequence[Any],
+    days: Iterable[int],
+    with_takedown: bool = True,
+    jobs: int = 1,
+    cache: bool = False,
+) -> dict[int, dict[str, int]]:
+    """Per-day packet counts per selector, keyed by day.
+
+    Workers ship back only the reduced counts (never flow tables). With
+    the cache enabled, a day is served from its cached counts, derived
+    from a cached observed table if one exists, or regenerated.
+    """
+    selectors = list(selectors)
+    fingerprint = tuple((s.name, s.port, s.direction) for s in selectors)
+    config_hash, takedown = _context(scenario)
+    counts: dict[int, dict[str, int]] = {}
+    missing: list[int] = []
+    for day in [int(d) for d in days]:
+        if cache:
+            ports_key = _key("ports", config_hash, takedown, vantage, day, with_takedown, fingerprint)
+            hit = _DAY_CACHE.get(ports_key)
+            if hit is not None:
+                counts[day] = hit
+                continue
+            observed = _DAY_CACHE.get(_key("observed", config_hash, takedown, vantage, day, with_takedown))
+            if observed is not None:
+                counts[day] = {s.name: s.packets(observed) for s in selectors}
+                _DAY_CACHE.put(ports_key, counts[day])
+                continue
+        missing.append(day)
+    if missing:
+        n_jobs = resolve_jobs(jobs)
+        specs = [DaySpec(scenario.config, d, vantage, with_takedown, takedown) for d in missing]
+        if n_jobs > 1:
+            register_scenario(scenario)
+            fresh = _pool_map(partial(_port_counts_task, selectors=selectors), specs, n_jobs)
+            for day, value in zip(missing, fresh):
+                counts[day] = value
+                if cache:
+                    _DAY_CACHE.put(
+                        _key("ports", config_hash, takedown, vantage, day, with_takedown, fingerprint),
+                        value,
+                    )
+        else:
+            # Serial: also cache the observed table so later experiments
+            # over the same days (any reduction) can reuse it.
+            for day in missing:
+                traffic = scenario.day_traffic(day, with_takedown=with_takedown)
+                observed = scenario.observe_day(vantage, traffic)
+                counts[day] = {s.name: s.packets(observed) for s in selectors}
+                if cache:
+                    _DAY_CACHE.put(
+                        _key("observed", config_hash, takedown, vantage, day, with_takedown), observed
+                    )
+                    _DAY_CACHE.put(
+                        _key("ports", config_hash, takedown, vantage, day, with_takedown, fingerprint),
+                        counts[day],
+                    )
+    return counts
+
+
+def streaming_ingest(
+    scenario: Scenario,
+    vantage: str,
+    analyzer: Any,
+    days: Iterable[int],
+    with_takedown: bool = True,
+    jobs: int = 1,
+    cache: bool = False,
+) -> Any:
+    """Feed ``days`` through ``analyzer``, optionally over the pool.
+
+    With ``jobs > 1`` the analyzer must implement the merge protocol
+    (``clone_empty()`` + ``merge(other)``); each worker chunk ingests
+    into its own clone and the clones fold back order-independently.
+    Cached observed days are ingested directly in the parent.
+    """
+    days = [int(d) for d in days]
+    config_hash, takedown = _context(scenario)
+    pending: list[int] = []
+    for day in days:
+        if cache:
+            observed = _DAY_CACHE.get(_key("observed", config_hash, takedown, vantage, day, with_takedown))
+            if observed is not None:
+                analyzer.ingest_day(day, observed)
+                continue
+        pending.append(day)
+    if not pending:
+        return analyzer
+    n_jobs = resolve_jobs(jobs)
+    if n_jobs > 1 and len(pending) > 1:
+        if not (hasattr(analyzer, "clone_empty") and hasattr(analyzer, "merge")):
+            raise TypeError(
+                "parallel collect_streaming needs an analyzer with the merge "
+                "protocol (clone_empty() and merge()); got "
+                f"{type(analyzer).__name__}"
+            )
+        register_scenario(scenario)
+        n_chunks = min(len(pending), n_jobs * 4)
+        chunks = [pending[i::n_chunks] for i in range(n_chunks)]
+        tasks = [
+            (
+                tuple(DaySpec(scenario.config, d, vantage, with_takedown, takedown) for d in chunk),
+                analyzer.clone_empty(),
+            )
+            for chunk in chunks
+        ]
+        for part in _pool_map(_ingest_chunk_task, tasks, n_jobs):
+            analyzer.merge(part)
+    else:
+        for day in pending:
+            traffic = scenario.day_traffic(day, with_takedown=with_takedown)
+            observed = scenario.observe_day(vantage, traffic)
+            if cache:
+                _DAY_CACHE.put(
+                    _key("observed", config_hash, takedown, vantage, day, with_takedown), observed
+                )
+            analyzer.ingest_day(day, observed)
+    return analyzer
+
+
+def day_events(
+    scenario: Scenario,
+    day: int,
+    with_takedown: bool = True,
+    cache: bool = False,
+) -> list:
+    """Ground-truth attack events for ``day`` (cached; no flow synthesis)."""
+    config_hash, takedown = _context(scenario)
+    key = _key("events", config_hash, takedown, None, day, with_takedown)
+    if cache:
+        hit = _DAY_CACHE.get(key)
+        if hit is not None:
+            return hit
+    events = scenario.day_events(day, with_takedown=with_takedown)
+    if cache:
+        _DAY_CACHE.put(key, events)
+    return events
+
+
+def day_attack_tables(
+    scenario: Scenario,
+    days: Iterable[int],
+    with_takedown: bool = True,
+    jobs: int = 1,
+    cache: bool = False,
+) -> list[FlowTable]:
+    """Ground-truth attack flow tables per day, in ``days`` order."""
+    days = [int(d) for d in days]
+    config_hash, takedown = _context(scenario)
+    results: dict[int, FlowTable] = {}
+    missing: list[int] = []
+    for day in days:
+        if cache:
+            hit = _DAY_CACHE.get(_key("attack", config_hash, takedown, None, day, with_takedown))
+            if hit is not None:
+                results[day] = hit
+                continue
+        missing.append(day)
+    if missing:
+        n_jobs = resolve_jobs(jobs)
+        specs = [DaySpec(scenario.config, d, None, with_takedown, takedown) for d in missing]
+        if n_jobs > 1:
+            register_scenario(scenario)
+            tables = _pool_map(_attack_table_task, specs, n_jobs)
+        else:
+            tables = [
+                scenario.day_traffic(d, with_takedown=with_takedown).attack for d in missing
+            ]
+        for day, table in zip(missing, tables):
+            results[day] = table
+            if cache:
+                _DAY_CACHE.put(_key("attack", config_hash, takedown, None, day, with_takedown), table)
+    return [results[day] for day in days]

@@ -77,6 +77,8 @@ def collect_daily_port_series(
     day_range: tuple[int, int] | None = None,
     with_takedown: bool = True,
     per_day_hook: Callable[[int, FlowTable], None] | None = None,
+    jobs: int = 1,
+    cache: bool = False,
 ) -> DailyPortSeries:
     """Generate, observe, and reduce traffic day by day.
 
@@ -88,6 +90,13 @@ def collect_daily_port_series(
         with_takedown: generate with or without the seizure.
         per_day_hook: optional callback receiving each day's observed
             table (e.g. to accumulate extra metrics in one pass).
+            Hooks cannot be shipped to worker processes, so they
+            require ``jobs=1``.
+        jobs: worker processes for per-day generation (0 = all cores).
+            Days are seed-tree independent, so ``jobs=N`` returns
+            results bit-identical to ``jobs=1``.
+        cache: consult/populate the process-wide day-result cache
+            (:func:`repro.core.parallel.day_cache`).
 
     Returns:
         Daily packet counts per selector. Days outside the vantage
@@ -102,6 +111,37 @@ def collect_daily_port_series(
         raise ValueError("empty day range")
     days = np.arange(start, end)
     out = {s.name: np.zeros(days.size) for s in selectors}
+
+    if jobs != 1 or cache:
+        from repro.core.parallel import daily_port_counts, observed_days, resolve_jobs
+
+        if per_day_hook is not None:
+            if resolve_jobs(jobs) > 1:
+                raise ValueError(
+                    "per_day_hook requires jobs=1 (hooks cannot be shipped to workers)"
+                )
+            for i, day in enumerate(days):
+                observed = observed_days(
+                    scenario, vantage, [int(day)], with_takedown, jobs=1, cache=cache
+                )[0]
+                for selector in selectors:
+                    out[selector.name][i] = selector.packets(observed)
+                per_day_hook(int(day), observed)
+        else:
+            counts = daily_port_counts(
+                scenario,
+                vantage,
+                selectors,
+                [int(d) for d in days],
+                with_takedown,
+                jobs=jobs,
+                cache=cache,
+            )
+            for i, day in enumerate(days):
+                for selector in selectors:
+                    out[selector.name][i] = counts[int(day)][selector.name]
+        return DailyPortSeries(days=days, series=out)
+
     for i, day in enumerate(days):
         traffic = scenario.day_traffic(int(day), with_takedown=with_takedown)
         observed = scenario.observe_day(vantage, traffic)
@@ -118,16 +158,34 @@ def collect_streaming(
     analyzer,
     day_range: tuple[int, int] | None = None,
     with_takedown: bool = True,
+    jobs: int = 1,
+    cache: bool = False,
 ):
     """Feed a day range through a one-pass accumulator.
 
     ``analyzer`` is anything with an ``ingest_day(day, observed_table)``
     method — normally :class:`repro.core.streaming.StreamingAnalyzer`.
-    Returns the analyzer for chaining.
+    With ``jobs != 1`` the analyzer must also implement the merge
+    protocol (``clone_empty()`` + ``merge(other)``): worker chunks
+    ingest into clones, and the clones fold back order-independently,
+    bit-identical to the serial pass. ``cache`` consults/populates the
+    process-wide day-result cache. Returns the analyzer for chaining.
     """
     start, end = day_range if day_range is not None else (0, scenario.config.n_days)
     if end <= start:
         raise ValueError("empty day range")
+    if jobs != 1 or cache:
+        from repro.core.parallel import streaming_ingest
+
+        return streaming_ingest(
+            scenario,
+            vantage,
+            analyzer,
+            range(start, end),
+            with_takedown,
+            jobs=jobs,
+            cache=cache,
+        )
     for day in range(start, end):
         traffic = scenario.day_traffic(day, with_takedown=with_takedown)
         analyzer.ingest_day(day, scenario.observe_day(vantage, traffic))

@@ -122,6 +122,56 @@ class StreamingAnalyzer:
         )
         self.hourly_attacks[day * 24 : (day + 1) * 24] = hourly
 
+    # -- parallel merge protocol --------------------------------------------------
+
+    def clone_empty(self) -> "StreamingAnalyzer":
+        """A fresh analyzer with identical parameters and no ingested days.
+
+        The parallel executor (:mod:`repro.core.parallel`) hands each
+        worker chunk its own clone; chunk results fold back with
+        :meth:`merge`.
+        """
+        return StreamingAnalyzer(
+            self.selectors,
+            self.n_days,
+            thresholds=self.thresholds,
+            sampling_factor=self.sampling_factor,
+            sketch_precision=self._sources.precision,
+        )
+
+    def merge(self, other: "StreamingAnalyzer") -> "StreamingAnalyzer":
+        """Fold another analyzer over *disjoint* days into this one.
+
+        Merging the per-chunk analyzers of any partition of a day range,
+        in any order, is bit-identical to ingesting the whole range one
+        day at a time: selector series and hourly counts occupy disjoint
+        day slots, HyperLogLog register merge is a commutative max, and
+        the per-destination reductions are max (peaks) and integer sum
+        (packets).
+        """
+        if [s.name for s in other.selectors] != [s.name for s in self.selectors]:
+            raise ValueError("cannot merge analyzers with different selectors")
+        if other.n_days != self.n_days:
+            raise ValueError("cannot merge analyzers with different n_days")
+        if other.thresholds != self.thresholds:
+            raise ValueError("cannot merge analyzers with different thresholds")
+        if other.sampling_factor != self.sampling_factor:
+            raise ValueError("cannot merge analyzers with different sampling factors")
+        overlap = self._days_seen & other._days_seen
+        if overlap:
+            raise ValueError(f"cannot merge: days ingested on both sides: {sorted(overlap)}")
+        for name in self.daily:
+            self.daily[name] += other.daily[name]
+        self.hourly_attacks += other.hourly_attacks
+        self._sources.merge(other._sources)
+        for dst, value in other._peak_bytes_per_min.items():
+            if value > self._peak_bytes_per_min.get(dst, 0.0):
+                self._peak_bytes_per_min[dst] = value
+        for dst, pkts in other._total_packets.items():
+            self._total_packets[dst] = self._total_packets.get(dst, 0) + pkts
+        self._days_seen |= other._days_seen
+        return self
+
     # -- results -----------------------------------------------------------------
 
     def daily_series(self, name: str) -> np.ndarray:

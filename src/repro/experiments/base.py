@@ -23,14 +23,23 @@ class ExperimentConfig:
       absolute counts scale down.
     * ``"paper"`` — the full default :class:`ScenarioConfig` (10x larger;
       minutes instead of seconds for the takedown experiments).
+
+    ``jobs`` sets the worker processes for day-parallel experiments
+    (0 = all cores; day results are bit-identical for any ``jobs``).
+    ``cache`` enables the process-wide day-result cache so experiments
+    sharing day ranges reuse each other's per-day work.
     """
 
     preset: str = "small"
     seed: int = 2018
+    jobs: int = 1
+    cache: bool = False
 
     def __post_init__(self) -> None:
         if self.preset not in ("small", "paper"):
             raise ValueError(f"unknown preset {self.preset!r}")
+        if self.jobs < 0:
+            raise ValueError(f"jobs must be >= 0 (0 = all cores), got {self.jobs}")
 
     def scenario_config(self) -> ScenarioConfig:
         if self.preset == "paper":

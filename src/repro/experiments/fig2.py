@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.classify import ClassifierThresholds, ConservativeClassifier, OptimisticClassifier
+from repro.core.parallel import observed_days
 from repro.core.victims import victim_report
 from repro.experiments.base import (
     ExperimentConfig,
@@ -32,12 +33,11 @@ _VP_DAYS = {"ixp": (40, 54), "tier1": (73, 87), "tier2": (40, 54)}
 _VP_SAMPLING = {"ixp": 10_000.0, "tier1": 1_000.0, "tier2": 1_000.0}
 
 
-def _observed_window(scenario: Scenario, vantage: str) -> FlowTable:
+def _observed_window(scenario: Scenario, vantage: str, config: ExperimentConfig) -> FlowTable:
     start, end = _VP_DAYS[vantage]
-    tables = []
-    for day in range(start, end):
-        traffic = scenario.day_traffic(day, cache=False)
-        tables.append(scenario.observe_day(vantage, traffic))
+    tables = observed_days(
+        scenario, vantage, range(start, end), jobs=config.jobs, cache=config.cache
+    )
     return FlowTable.concat(tables)
 
 
@@ -45,8 +45,9 @@ def run_fig2a(config: ExperimentConfig) -> ExperimentResult:
     """Regenerate Figure 2(a): NTP packet-size CDF/PDF at the IXP."""
     scenario = build_scenario(config)
     day = _VP_DAYS["ixp"][0]
-    traffic = scenario.day_traffic(day)
-    observed = scenario.observe_day("ixp", traffic)
+    observed = observed_days(
+        scenario, "ixp", [day], jobs=config.jobs, cache=config.cache
+    )[0]
     # All NTP packets at the IXP, both directions.
     ntp = observed.filter(
         (observed["src_port"] == 123) | (observed["dst_port"] == 123)
@@ -93,10 +94,10 @@ def _large_mode(sizes: np.ndarray) -> float:
     return float(values[np.argmax(counts)])
 
 
-def _per_vp_reports(scenario: Scenario) -> dict[str, object]:
+def _per_vp_reports(scenario: Scenario, config: ExperimentConfig) -> dict[str, object]:
     reports = {}
     for vantage in ("ixp", "tier1", "tier2"):
-        observed = _observed_window(scenario, vantage)
+        observed = _observed_window(scenario, vantage, config)
         reports[vantage] = victim_report(
             observed, sampling_factor=_VP_SAMPLING[vantage]
         )
@@ -106,7 +107,7 @@ def _per_vp_reports(scenario: Scenario) -> dict[str, object]:
 def run_fig2b(config: ExperimentConfig) -> ExperimentResult:
     """Regenerate Figure 2(b): per-victim sources vs peak Gbps scatter."""
     scenario = build_scenario(config)
-    reports = _per_vp_reports(scenario)
+    reports = _per_vp_reports(scenario, config)
 
     rows = []
     for vantage, report in reports.items():
@@ -161,7 +162,7 @@ def run_fig2b(config: ExperimentConfig) -> ExperimentResult:
 def run_fig2c(config: ExperimentConfig) -> ExperimentResult:
     """Regenerate Figure 2(c): per-destination CDFs per vantage point."""
     scenario = build_scenario(config)
-    reports = _per_vp_reports(scenario)
+    reports = _per_vp_reports(scenario, config)
 
     ecdfs_sources = {}
     ecdfs_gbps = {}
@@ -215,7 +216,7 @@ def run_fig2c(config: ExperimentConfig) -> ExperimentResult:
 def run_landscape(config: ExperimentConfig) -> ExperimentResult:
     """Section 4's in-text numbers: conservative-filter reductions."""
     scenario = build_scenario(config)
-    observed = _observed_window(scenario, "ixp")
+    observed = _observed_window(scenario, "ixp", config)
     thresholds = ClassifierThresholds()
     optimistic = OptimisticClassifier(thresholds)
     conservative = ConservativeClassifier(thresholds)

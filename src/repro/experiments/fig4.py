@@ -48,7 +48,12 @@ def run(config: ExperimentConfig) -> ExperimentResult:
     reports: dict[str, TakedownReport] = {}
     for vantage in ("ixp", "tier2"):
         series = collect_daily_port_series(
-            scenario, vantage, list(SELECTORS.values()), day_range=day_range
+            scenario,
+            vantage,
+            list(SELECTORS.values()),
+            day_range=day_range,
+            jobs=config.jobs,
+            cache=config.cache,
         )
         for name in SELECTORS:
             key = f"{name}@{vantage}"

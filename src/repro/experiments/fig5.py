@@ -4,14 +4,18 @@ Applies the conservative filter learned from the self-attacks (>200-byte
 NTP packets, more than 10 amplifiers, >1 Gbps peak) hour by hour at the
 IXP, then runs the same Welch methodology as Figure 4. The paper's
 central negative finding: no significant reduction after the takedown.
+
+The hourly reduction runs through :func:`repro.core.pipeline.collect_streaming`
+with a :class:`~repro.core.streaming.StreamingAnalyzer`, so it
+parallelizes over days (``--jobs``) and reuses cached observed days from
+earlier experiments (``--cache``) with bit-identical results.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
+from repro.core.pipeline import collect_streaming
+from repro.core.streaming import StreamingAnalyzer
 from repro.core.takedown_analysis import analyze_takedown
-from repro.core.victims import attacks_per_hour
 from repro.experiments.base import (
     ExperimentConfig,
     ExperimentResult,
@@ -21,8 +25,6 @@ from repro.experiments.base import (
 
 __all__ = ["run"]
 
-SECONDS_PER_DAY = 86_400.0
-
 
 def run(config: ExperimentConfig) -> ExperimentResult:
     """Regenerate Figure 5: systems under NTP attack per hour (null)."""
@@ -31,28 +33,27 @@ def run(config: ExperimentConfig) -> ExperimentResult:
     day_range = (40, scenario.config.n_days - 1)
     sampling = float(scenario.config.ixp_sampling)
 
-    hourly_all: list[np.ndarray] = []
-    daily_sums: list[float] = []
-    for day in range(*day_range):
-        traffic = scenario.day_traffic(day)
-        observed = scenario.observe_day("ixp", traffic)
-        hourly = attacks_per_hour(
-            observed,
-            day * SECONDS_PER_DAY,
-            (day + 1) * SECONDS_PER_DAY,
-            sampling_factor=sampling,
-        )
-        hourly_all.append(hourly)
-        daily_sums.append(float(hourly.sum()))
+    analyzer = StreamingAnalyzer(
+        [], n_days=scenario.config.n_days, sampling_factor=sampling
+    )
+    collect_streaming(
+        scenario,
+        "ixp",
+        analyzer,
+        day_range=day_range,
+        jobs=config.jobs,
+        cache=config.cache,
+    )
+    start, end = day_range
+    daily = analyzer.daily_attack_counts()[start:end].astype(float)
+    hourly_series = analyzer.hourly_attacks[start * 24 : end * 24]
 
-    daily = np.asarray(daily_sums)
     takedown_index = takedown_day - day_range[0]
     report = analyze_takedown(
         daily, takedown_index, windows=(30, 40), series_name="NTP attacks/hour @ IXP"
     )
     w30, w40 = report.window(30), report.window(40)
 
-    hourly_series = np.concatenate(hourly_all)
     before_mean = daily[:takedown_index].mean() / 24.0
     after_mean = daily[takedown_index + 1 :].mean() / 24.0
     table = format_table(

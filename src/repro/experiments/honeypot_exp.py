@@ -9,6 +9,7 @@ learns (victims, timing, trigger rates).
 
 from __future__ import annotations
 
+from repro.core.parallel import day_events
 from repro.experiments.base import (
     ExperimentConfig,
     ExperimentResult,
@@ -26,10 +27,12 @@ def run(config: ExperimentConfig) -> ExperimentResult:
     """Honeypot coverage curve over a week of market attacks."""
     scenario = build_scenario(config)
     pool = scenario.pools["ntp"]
+    # Event lists only — no flow synthesis; cached for reuse by other
+    # experiments sharing the day range (e.g. victimization).
     events = [
         e
         for day in _DAYS
-        for e in scenario.day_traffic(day).events
+        for e in day_events(scenario, day, cache=config.cache)
         if e.vector == "ntp"
     ]
     sizes = [5, 20, 60, 200, len(pool) // 2]

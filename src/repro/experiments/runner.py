@@ -4,7 +4,9 @@ Usage::
 
     repro-experiments fig4                 # one experiment, small preset
     repro-experiments all --preset paper   # everything at paper scale
+    repro-experiments all --jobs 4         # day-parallel (bit-identical)
     repro-experiments fig1a fig1b --seed 7
+    repro-experiments fig4 fig5 --no-cache # disable the day-result cache
 """
 
 from __future__ import annotations
@@ -13,6 +15,7 @@ import argparse
 import sys
 import time
 
+from repro.core.parallel import day_cache
 from repro.experiments.base import ExperimentConfig
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 
@@ -32,6 +35,19 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--preset", choices=("small", "paper"), default="small")
     parser.add_argument("--seed", type=int, default=2018)
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for day-parallel experiments "
+        "(0 = all cores; results are bit-identical for any --jobs)",
+    )
+    parser.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="reuse per-day results across experiments in this run",
+    )
+    parser.add_argument(
         "--output",
         help="also write a markdown report of all results to this path",
     )
@@ -46,15 +62,26 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         return 2
-    config = ExperimentConfig(preset=args.preset, seed=args.seed)
+    config = ExperimentConfig(
+        preset=args.preset, seed=args.seed, jobs=args.jobs, cache=args.cache
+    )
     results = []
     for experiment_id in ids:
+        before = day_cache().stats()
         start = time.perf_counter()
         result = run_experiment(experiment_id, config)
         elapsed = time.perf_counter() - start
         results.append(result)
         print(result.render())
-        print(f"\n[{experiment_id} completed in {elapsed:.1f}s]\n")
+        status = f"[{experiment_id} completed in {elapsed:.1f}s"
+        if args.cache:
+            after = day_cache().stats()
+            status += (
+                f" | day-cache +{after['hits'] - before['hits']} hits"
+                f" / +{after['misses'] - before['misses']} misses"
+                f", {after['entries']} entries"
+            )
+        print(f"\n{status}]\n")
     if args.output:
         from repro.experiments.report import write_report
 

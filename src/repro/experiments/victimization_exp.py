@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.parallel import day_attack_tables, day_events
 from repro.core.victims import victim_asn_breakdown, victim_report
 from repro.experiments.base import (
     ExperimentConfig,
@@ -28,7 +29,9 @@ _DAYS = range(40, 54)
 def run(config: ExperimentConfig) -> ExperimentResult:
     """Attack-per-victim distribution and per-AS-role victimization."""
     scenario = build_scenario(config)
-    events = [e for day in _DAYS for e in scenario.day_traffic(day).events]
+    events = [
+        e for day in _DAYS for e in day_events(scenario, day, cache=config.cache)
+    ]
     victims = np.array([e.victim_ip for e in events], dtype=np.uint64)
     unique, counts = np.unique(victims, return_counts=True)
     counts_sorted = np.sort(counts)[::-1]
@@ -52,7 +55,9 @@ def run(config: ExperimentConfig) -> ExperimentResult:
     # Per-AS-role victimization, from the ground-truth attack flows
     # (anonymized vantage exports cannot be resolved back to ASes).
     ground_truth = FlowTable.concat(
-        [scenario.day_traffic(day).attack for day in list(_DAYS)[:3]]
+        day_attack_tables(
+            scenario, list(_DAYS)[:3], jobs=config.jobs, cache=config.cache
+        )
     )
     report = victim_report(ground_truth)
     breakdown = victim_asn_breakdown(report, scenario.registry)

@@ -152,7 +152,12 @@ class PerKeyCardinality:
         return sorted(self._sketches)
 
     def merge(self, other: "PerKeyCardinality") -> "PerKeyCardinality":
-        """Union-merge another per-key counter (e.g. another day's pass)."""
+        """Union-merge another per-key counter (e.g. another day's pass).
+
+        Register-wise max is commutative and associative, so merging
+        per-chunk counters of any partition of a stream — in any order —
+        yields bit-identical registers to a single one-pass ingest.
+        """
         if other.precision != self.precision:
             raise ValueError("cannot merge counters of different precision")
         for key, sketch in other._sketches.items():
@@ -162,6 +167,12 @@ class PerKeyCardinality:
             else:
                 mine.merge(sketch)
         return self
+
+    def copy(self) -> "PerKeyCardinality":
+        """Deep copy (register arrays included)."""
+        clone = PerKeyCardinality(self.precision)
+        clone._sketches = {k: s.copy() for k, s in self._sketches.items()}
+        return clone
 
     def __len__(self) -> int:
         return len(self._sketches)

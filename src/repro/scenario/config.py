@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 
 from repro.booter.market import MarketConfig
@@ -91,3 +93,20 @@ class ScenarioConfig:
     def default_takedown(self) -> TakedownScenario:
         """The FBI takedown with the paper's timeline (booter A revives +3d)."""
         return TakedownScenario(takedown_day=self.takedown_day)
+
+    def content_hash(self) -> str:
+        """Stable hex digest of the config's full content, seed included.
+
+        Two configs with equal field values hash identically across
+        processes and Python versions (canonical JSON + SHA-256); any
+        field change — including ``seed`` — changes the hash. This keys
+        the day-result cache and the per-process scenario memo in
+        :mod:`repro.core.parallel`.
+        """
+        # Local import: serialize imports this module.
+        from repro.scenario.serialize import config_to_dict
+
+        payload = json.dumps(
+            config_to_dict(self), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -155,6 +155,33 @@ class Scenario:
 
     # -- traffic generation -------------------------------------------------
 
+    def _day_demand(
+        self, day: int, with_takedown: bool
+    ) -> tuple[dict[str, float] | None, dict[str, float] | None, float]:
+        """(demand weights, backend activity, demand scale) for ``day``."""
+        if with_takedown:
+            return (
+                self.takedown.demand_weights(self.market, day),
+                self.takedown.backend_activity(self.market, day),
+                self.takedown.demand_scale(self.market, day),
+            )
+        return None, None, 1.0
+
+    def day_events(self, day: int, with_takedown: bool = True) -> list[AttackEvent]:
+        """Ground-truth attack events of ``day``, without flow synthesis.
+
+        Returns exactly the events ``day_traffic(day).events`` would carry
+        (the market's per-day streams are independent and path-seeded),
+        but skips synthesizing attack/trigger/scan/background flows —
+        much cheaper for analyses that only need the event list.
+        """
+        if not 0 <= day < self.config.n_days:
+            raise ValueError(f"day {day} outside scenario [0, {self.config.n_days})")
+        weights, _, demand_level = self._day_demand(day, with_takedown)
+        return self.market.attacks_for_day(
+            day, demand_weights=weights, demand_scale=self.config.scale * demand_level
+        )
+
     def day_traffic(
         self,
         day: int,
@@ -173,18 +200,10 @@ class Scenario:
         if cache and key in self._day_cache:
             return self._day_cache[key]
 
-        if with_takedown:
-            weights = self.takedown.demand_weights(self.market, day)
-            activity = self.takedown.backend_activity(self.market, day)
-            # attacks_for_day normalizes the weights (they only set the
-            # per-service mix); the takedown's *total* demand level must be
-            # applied through the scale factor.
-            demand_level = self.takedown.demand_scale(self.market, day)
-        else:
-            weights = None
-            activity = None
-            demand_level = 1.0
-
+        # attacks_for_day normalizes the weights (they only set the
+        # per-service mix); the takedown's *total* demand level must be
+        # applied through the scale factor.
+        weights, activity, demand_level = self._day_demand(day, with_takedown)
         events = self.market.attacks_for_day(
             day, demand_weights=weights, demand_scale=self.config.scale * demand_level
         )

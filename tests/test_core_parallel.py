@@ -1,0 +1,292 @@
+"""Parallel day executor, merge protocol, content hash, and day cache."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.booter.market import MarketConfig
+from repro.core.parallel import (
+    DayResultCache,
+    DaySpec,
+    day_attack_tables,
+    day_cache,
+    day_events,
+    observed_days,
+    resolve_jobs,
+)
+from repro.core.pipeline import TrafficSelector, collect_daily_port_series, collect_streaming
+from repro.core.streaming import StreamingAnalyzer
+from repro.flows.sketch import PerKeyCardinality
+from repro.netmodel.topology import TopologyConfig
+from repro.scenario import Scenario, ScenarioConfig
+
+SELECTORS = [
+    TrafficSelector("ntp_to", 123, "to_reflectors"),
+    TrafficSelector("ntp_from", 123, "from_reflectors"),
+]
+
+
+def _config(**overrides) -> ScenarioConfig:
+    params = dict(
+        scale=0.1,
+        topology=TopologyConfig(n_tier1=3, n_tier2=10, n_stub=60),
+        market=MarketConfig(daily_attacks=60.0, n_victims=300),
+        pool_sizes=(
+            ("ntp", 1500),
+            ("dns", 1000),
+            ("cldap", 400),
+            ("memcached", 200),
+            ("ssdp", 250),
+        ),
+    )
+    params.update(overrides)
+    return ScenarioConfig(**params)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return Scenario(_config())
+
+
+class TestParallelDeterminism:
+    def test_port_series_jobs4_bit_identical(self, scenario):
+        serial = collect_daily_port_series(scenario, "ixp", SELECTORS, day_range=(40, 45))
+        parallel = collect_daily_port_series(
+            scenario, "ixp", SELECTORS, day_range=(40, 45), jobs=4
+        )
+        np.testing.assert_array_equal(serial.days, parallel.days)
+        for name in ("ntp_to", "ntp_from"):
+            np.testing.assert_array_equal(serial.get(name), parallel.get(name))
+
+    def test_streaming_jobs3_bit_identical(self, scenario):
+        def run(jobs):
+            analyzer = StreamingAnalyzer(
+                SELECTORS, n_days=scenario.config.n_days, sampling_factor=10_000.0
+            )
+            return collect_streaming(
+                scenario, "ixp", analyzer, day_range=(40, 45), jobs=jobs
+            )
+
+        serial, parallel = run(1), run(3)
+        for name in ("ntp_to", "ntp_from"):
+            np.testing.assert_array_equal(
+                serial.daily_series(name), parallel.daily_series(name)
+            )
+        np.testing.assert_array_equal(serial.hourly_attacks, parallel.hourly_attacks)
+        a, b = serial.victim_stats(), parallel.victim_stats()
+        np.testing.assert_array_equal(a.destinations, b.destinations)
+        np.testing.assert_array_equal(a.peak_bps, b.peak_bps)
+        np.testing.assert_array_equal(
+            a.unique_sources_estimate, b.unique_sources_estimate
+        )
+        np.testing.assert_array_equal(a.total_packets, b.total_packets)
+
+    def test_hook_requires_serial(self, scenario):
+        with pytest.raises(ValueError, match="per_day_hook"):
+            collect_daily_port_series(
+                scenario,
+                "ixp",
+                SELECTORS,
+                day_range=(40, 42),
+                per_day_hook=lambda day, table: None,
+                jobs=2,
+            )
+
+    def test_parallel_streaming_needs_merge_protocol(self, scenario):
+        class Bare:
+            def ingest_day(self, day, table):
+                pass
+
+        with pytest.raises(TypeError, match="merge"):
+            collect_streaming(scenario, "ixp", Bare(), day_range=(40, 44), jobs=2)
+
+    def test_day_spec_pickles(self, scenario):
+        spec = DaySpec(scenario.config, 40, "ixp", True, scenario.takedown)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(0) >= 1
+        assert resolve_jobs(None) >= 1
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+
+
+class TestMergeProtocol:
+    def test_merge_of_halves_equals_one_pass(self, scenario):
+        tables = {
+            day: scenario.observe_day("ixp", scenario.day_traffic(day))
+            for day in range(40, 44)
+        }
+
+        def fresh():
+            return StreamingAnalyzer(
+                SELECTORS, n_days=scenario.config.n_days, sampling_factor=10_000.0
+            )
+
+        one_pass = fresh()
+        for day, table in tables.items():
+            one_pass.ingest_day(day, table)
+
+        left, right = fresh(), fresh()
+        for day in (40, 41):
+            left.ingest_day(day, tables[day])
+        for day in (42, 43):
+            right.ingest_day(day, tables[day])
+        merged = left.merge(right)
+        assert merged is left
+
+        for name in ("ntp_to", "ntp_from"):
+            np.testing.assert_array_equal(
+                one_pass.daily_series(name), merged.daily_series(name)
+            )
+        np.testing.assert_array_equal(one_pass.hourly_attacks, merged.hourly_attacks)
+        a, b = one_pass.victim_stats(), merged.victim_stats()
+        np.testing.assert_array_equal(a.destinations, b.destinations)
+        np.testing.assert_array_equal(a.peak_bps, b.peak_bps)
+        np.testing.assert_array_equal(
+            a.unique_sources_estimate, b.unique_sources_estimate
+        )
+        np.testing.assert_array_equal(a.total_packets, b.total_packets)
+
+    def test_merge_rejects_overlap_and_mismatch(self):
+        a = StreamingAnalyzer(SELECTORS, n_days=10)
+        b = StreamingAnalyzer(SELECTORS, n_days=10)
+        from repro.flows.records import FlowTable
+
+        a.ingest_day(1, FlowTable.empty())
+        b.ingest_day(1, FlowTable.empty())
+        with pytest.raises(ValueError, match="both sides"):
+            a.merge(b)
+        with pytest.raises(ValueError, match="n_days"):
+            a.merge(StreamingAnalyzer(SELECTORS, n_days=5))
+        with pytest.raises(ValueError, match="selectors"):
+            a.merge(StreamingAnalyzer(SELECTORS[:1], n_days=10))
+        with pytest.raises(ValueError, match="sampling"):
+            a.merge(StreamingAnalyzer(SELECTORS, n_days=10, sampling_factor=2.0))
+
+    def test_clone_empty_matches_parameters(self):
+        a = StreamingAnalyzer(SELECTORS, n_days=7, sampling_factor=3.0, sketch_precision=9)
+        clone = a.clone_empty()
+        assert clone.n_days == 7
+        assert clone.sampling_factor == 3.0
+        assert clone._sources.precision == 9
+        assert not clone._days_seen
+
+    def test_per_key_cardinality_merge_of_halves(self):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 8, size=4000)
+        items = rng.integers(0, 50_000, size=4000)
+
+        one_pass = PerKeyCardinality(precision=10)
+        one_pass.update(keys, items)
+
+        left, right = PerKeyCardinality(precision=10), PerKeyCardinality(precision=10)
+        left.update(keys[:2000], items[:2000])
+        right.update(keys[2000:], items[2000:])
+        merged = left.merge(right)
+
+        assert merged.keys() == one_pass.keys()
+        for key in one_pass.keys():
+            assert merged.estimate(key) == one_pass.estimate(key)
+
+    def test_per_key_cardinality_copy_is_deep(self):
+        counter = PerKeyCardinality(precision=8)
+        counter.update(np.array([1, 1, 2]), np.array([10, 11, 12]))
+        clone = counter.copy()
+        clone.update(np.array([1]), np.array([99]))
+        assert clone.estimate(1) >= counter.estimate(1)
+        assert counter.estimate(2) == clone.estimate(2)
+
+
+class TestContentHash:
+    def test_stable_and_deterministic(self):
+        a, b = _config(), _config()
+        assert a.content_hash() == b.content_hash()
+        assert len(a.content_hash()) == 64
+
+    def test_seed_changes_hash(self):
+        assert _config(seed=1).content_hash() != _config(seed=2).content_hash()
+
+    def test_any_field_changes_hash(self):
+        assert _config().content_hash() != _config(scale=0.2).content_hash()
+
+
+class TestDayResultCache:
+    def test_lru_eviction_and_stats(self):
+        cache = DayResultCache(max_entries=2)
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        assert cache.get(("a",)) == 1  # refresh 'a'
+        cache.put(("c",), 3)  # evicts 'b'
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) == 1
+        assert cache.get(("c",)) == 3
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["hits"] == 3 and stats["misses"] == 1
+
+    def test_pipeline_reuses_cached_days(self, scenario):
+        cache = day_cache()
+        cache.clear()
+        first = collect_daily_port_series(
+            scenario, "tier2", SELECTORS, day_range=(40, 43), cache=True
+        )
+        hits_before = cache.stats()["hits"]
+        second = collect_daily_port_series(
+            scenario, "tier2", SELECTORS, day_range=(40, 43), cache=True
+        )
+        assert cache.stats()["hits"] > hits_before
+        for name in ("ntp_to", "ntp_from"):
+            np.testing.assert_array_equal(first.get(name), second.get(name))
+
+    def test_observed_cache_shared_across_reductions(self, scenario):
+        cache = day_cache()
+        cache.clear()
+        tables = observed_days(scenario, "tier2", [40, 41], cache=True)
+        hits_before = cache.stats()["hits"]
+        series = collect_daily_port_series(
+            scenario, "tier2", SELECTORS, day_range=(40, 42), cache=True
+        )
+        # Days 40/41 derive from the cached observed tables.
+        assert cache.stats()["hits"] >= hits_before + 2
+        for i, table in enumerate(tables):
+            assert series.get("ntp_to")[i] == SELECTORS[0].packets(table)
+
+    def test_streaming_uses_cached_observed_days(self, scenario):
+        cache = day_cache()
+        cache.clear()
+        observed_days(scenario, "tier2", [40, 41, 42], cache=True)
+        analyzer = StreamingAnalyzer(
+            SELECTORS, n_days=scenario.config.n_days, sampling_factor=1_000.0
+        )
+        hits_before = cache.stats()["hits"]
+        collect_streaming(scenario, "tier2", analyzer, day_range=(40, 43), cache=True)
+        assert cache.stats()["hits"] >= hits_before + 3
+        fresh = StreamingAnalyzer(
+            SELECTORS, n_days=scenario.config.n_days, sampling_factor=1_000.0
+        )
+        collect_streaming(scenario, "tier2", fresh, day_range=(40, 43))
+        for name in ("ntp_to", "ntp_from"):
+            np.testing.assert_array_equal(
+                analyzer.daily_series(name), fresh.daily_series(name)
+            )
+
+    def test_day_events_cached_and_identical(self, scenario):
+        cache = day_cache()
+        cache.clear()
+        events = day_events(scenario, 40, cache=True)
+        truth = scenario.day_traffic(40).events
+        assert len(events) == len(truth)
+        assert [e.victim_ip for e in events] == [e.victim_ip for e in truth]
+        again = day_events(scenario, 40, cache=True)
+        assert again is events
+        assert cache.stats()["hits"] == 1
+
+    def test_day_attack_tables_match_day_traffic(self, scenario):
+        tables = day_attack_tables(scenario, [40], cache=True, jobs=2)
+        truth = scenario.day_traffic(40).attack
+        np.testing.assert_array_equal(tables[0]["packets"], truth["packets"])
+        np.testing.assert_array_equal(tables[0]["dst_ip"], truth["dst_ip"])
