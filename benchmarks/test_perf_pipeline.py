@@ -141,3 +141,49 @@ def test_perf_parallel_collect(scenario):
           f"speedup {speedup:.2f}x on {cores} core(s)")
     if cores >= 2:
         assert speedup > 1.3, payload
+
+
+def test_perf_disabled_metrics_overhead(scenario):
+    """A disabled registry must make instrumented hot paths near-free.
+
+    The pipeline spans/counters fire O(10) times per simulated day (never
+    per flow), so the honest bound is: even a thousand disabled-primitive
+    calls per day must cost under 5% of one day's real work. Measures the
+    no-op ``inc``/``span`` per-call cost in bulk and checks exactly that
+    against a timed day collection; also re-asserts the disabled registry
+    recorded nothing while the collection ran.
+    """
+    from repro.core.pipeline import TrafficSelector, collect_daily_port_series
+    from repro.obs import metrics
+
+    registry = metrics()
+    assert not registry.enabled, "benchmarks assume the default disabled registry"
+
+    calls = 100_000
+    start = time.perf_counter()
+    for _ in range(calls):
+        registry.inc("bench.counter")
+        with registry.span("bench.span"):
+            pass
+    noop_pair_s = (time.perf_counter() - start) / calls
+
+    selectors = [TrafficSelector("ntp_to", 123, "to_reflectors")]
+    start = time.perf_counter()
+    series = collect_daily_port_series(scenario, "ixp", selectors, day_range=(40, 43))
+    per_day_s = (time.perf_counter() - start) / 3
+
+    assert series.days.size == 3
+    assert registry.to_dict()["counters"] == {}
+    assert registry.to_dict()["spans"] == []
+
+    budget = 0.05 * per_day_s
+    implied = 1000 * noop_pair_s
+    print(
+        f"\ndisabled metrics: {noop_pair_s * 1e9:.0f} ns per inc+span pair; "
+        f"1000 pairs = {implied * 1e3:.3f} ms vs day work {per_day_s * 1e3:.1f} ms "
+        f"({100 * implied / per_day_s:.2f}% of a day)"
+    )
+    assert implied < budget, (
+        f"disabled-metrics overhead {implied:.4f}s exceeds 5% of one day's "
+        f"work ({per_day_s:.4f}s); the no-op path has gained real cost"
+    )

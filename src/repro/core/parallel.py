@@ -27,14 +27,19 @@ victimization after honeypot) reuse each other's per-day work within a
 from __future__ import annotations
 
 import os
+import sys
+import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from functools import partial
 from typing import Any, Callable, Iterable, Sequence
 
+import numpy as np
+
 from repro.booter.takedown import TakedownScenario
-from repro.flows.records import FlowTable
+from repro.flows.records import FlowTable, SCHEMA
+from repro.obs import MetricsRegistry, metrics, set_metrics
 from repro.scenario.config import ScenarioConfig
 from repro.scenario.scenario import Scenario
 
@@ -137,27 +142,168 @@ def _ingest_chunk_task(chunk: tuple[tuple[DaySpec, ...], Any]) -> Any:
 
 
 def resolve_jobs(jobs: int | None) -> int:
-    """Normalize a ``jobs`` request: ``None``/``0`` means all CPU cores."""
+    """Normalize a ``jobs`` request: ``None``/``0`` means all CPU cores.
+
+    Negative values are rejected here, with the offending value in the
+    message, so a bad request can never reach the process pool (where
+    ``max_workers <= 0`` raises a far less helpful error).
+    """
     if jobs is None or jobs == 0:
         return os.cpu_count() or 1
     if jobs < 0:
-        raise ValueError(f"jobs must be >= 0, got {jobs}")
+        raise ValueError(
+            f"jobs must be a positive worker count, or 0/None for all "
+            f"CPU cores; got {jobs} (refusing to size a process pool "
+            f"with a negative worker count)"
+        )
     return jobs
+
+
+def _metered_call(fn: Callable[[Any], Any], item: Any) -> tuple[Any, MetricsRegistry]:
+    """Run one pool task under a fresh worker registry and ship it back.
+
+    Installed by :func:`_pool_map` when the parent's registry is
+    enabled. The fresh registry shadows whatever the worker inherited
+    (under fork, the parent's already-populated registry), so nothing
+    is double counted; the parent folds the returned registry in.
+    """
+    registry = MetricsRegistry(enabled=True)
+    previous = set_metrics(registry)
+    start = time.perf_counter()
+    try:
+        result = fn(item)
+    finally:
+        registry.inc("pool.busy_s", time.perf_counter() - start)
+        set_metrics(previous)
+    return result, registry
 
 
 def _pool_map(fn: Callable[[Any], Any], items: list[Any], jobs: int) -> list[Any]:
     """Map ``fn`` over ``items`` with up to ``jobs`` worker processes.
 
     Results come back in submission order, so callers can zip them with
-    their inputs; with one item (or one job) the map runs inline.
+    their inputs; with one item (or one job) the map runs inline. When
+    the active registry is enabled, tasks run under :func:`_metered_call`
+    and the worker registries (task counters, spans, busy time) merge
+    back into the parent, along with pool-level wall/capacity counters.
     """
+    return [result for result, _ in _pool_map_with_deltas(fn, items, jobs)]
+
+
+def _pool_map_with_deltas(
+    fn: Callable[[Any], Any], items: list[Any], jobs: int
+) -> list[tuple[Any, dict[str, float] | None]]:
+    """:func:`_pool_map`, but each result is paired with the ``scenario.*``
+    counter deltas its task recorded (``None`` when the registry is off).
+
+    Per-day deltas are what the cache stores alongside each day result so
+    a later cache hit can replay them — see :func:`_cache_get`.
+    """
+    registry = metrics()
     if jobs <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
-        return list(pool.map(fn, items))
+        out = []
+        for item in items:
+            before = _counters_snapshot(registry)
+            result = fn(item)
+            out.append((result, _counters_delta(registry, before)))
+        return out
+    workers = min(jobs, len(items))
+    if not registry.enabled:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return [(result, None) for result in pool.map(fn, items)]
+    start = time.perf_counter()
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        raw = list(pool.map(partial(_metered_call, fn), items))
+    wall = time.perf_counter() - start
+    registry.inc("pool.tasks", len(items))
+    registry.inc("pool.wall_s", wall)
+    registry.inc("pool.capacity_s", workers * wall)
+    registry.gauge("pool.workers", workers)
+    results = []
+    for result, worker_registry in raw:
+        registry.merge(worker_registry)
+        deltas = {
+            name: value
+            for name, value in worker_registry.counters.items()
+            if name.startswith(_REPLAY_PREFIX) and value
+        }
+        results.append((result, deltas))
+    return results
 
 
 # -- the day-result cache ------------------------------------------------------
+
+#: Counter family replayed on cache hits. The ``scenario.*`` counters are
+#: *logical* work counters — they describe the dataset an experiment
+#: processed, not the physical generations the strategy happened to run —
+#: so serving a day from the cache must count the same as regenerating it.
+#: That is what keeps them identical across ``jobs``/``cache`` strategies.
+_REPLAY_PREFIX = "scenario."
+
+
+def _counters_snapshot(registry: MetricsRegistry) -> dict[str, float] | None:
+    if not registry.enabled:
+        return None
+    return {
+        name: value
+        for name, value in registry.counters.items()
+        if name.startswith(_REPLAY_PREFIX)
+    }
+
+
+def _counters_delta(
+    registry: MetricsRegistry, before: dict[str, float] | None
+) -> dict[str, float] | None:
+    if before is None:
+        return None
+    return {
+        name: value - before.get(name, 0)
+        for name, value in registry.counters.items()
+        if name.startswith(_REPLAY_PREFIX) and value != before.get(name, 0)
+    }
+
+
+def _cache_put(key: tuple, value: Any, deltas: dict[str, float] | None) -> None:
+    """Cache a day result together with the scenario counters it recorded."""
+    _DAY_CACHE.put(key, (value, deltas))
+
+
+def _cache_get(key: tuple) -> tuple[Any, dict[str, float] | None] | None:
+    """A cached ``(value, deltas)`` entry, replaying the deltas.
+
+    Replay makes a hit indistinguishable from regeneration as far as the
+    ``scenario.*`` counters are concerned. Entries cached while the
+    registry was disabled carry no deltas and replay nothing — within one
+    runner invocation the enabled state is constant, so exports stay
+    strategy-independent.
+    """
+    entry = _DAY_CACHE.get(key)
+    if entry is None:
+        return None
+    value, deltas = entry
+    registry = metrics()
+    if registry.enabled and deltas:
+        for name, amount in deltas.items():
+            registry.inc(name, amount)
+    return value, deltas
+
+
+def _approx_nbytes(value: Any) -> int:
+    """Best-effort size estimate of a cached value, in bytes.
+
+    Exact for flow tables and numpy arrays (column buffer sizes),
+    recursive for the containers the pipeline caches (count dicts,
+    event lists), ``sys.getsizeof`` for everything else.
+    """
+    if isinstance(value, FlowTable):
+        return int(sum(value[name].nbytes for name in SCHEMA))
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, dict):
+        return sum(_approx_nbytes(v) for v in value.values()) + sys.getsizeof(value)
+    if isinstance(value, (list, tuple)):
+        return sum(_approx_nbytes(v) for v in value) + sys.getsizeof(value)
+    return sys.getsizeof(value)
 
 
 class DayResultCache:
@@ -168,6 +314,10 @@ class DayResultCache:
     attack tables. Keys embed the scenario config's ``content_hash()``
     (seed included) and the takedown scenario, so two different worlds
     never collide and two identically-configured scenarios share.
+
+    Every lookup and insert also feeds the active metrics registry
+    (``cache.hits`` / ``cache.misses`` / ``cache.evictions`` /
+    ``cache.bytes_stored`` and the ``cache.resident_bytes`` gauge).
     """
 
     def __init__(self, max_entries: int = 4096) -> None:
@@ -175,8 +325,11 @@ class DayResultCache:
             raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
         self._data: OrderedDict[tuple, Any] = OrderedDict()
+        self._sizes: dict[tuple, int] = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.resident_bytes = 0
 
     def get(self, key: tuple) -> Any | None:
         """The cached value for ``key``, or ``None`` (counts hit/miss)."""
@@ -184,27 +337,52 @@ class DayResultCache:
             value = self._data[key]
         except KeyError:
             self.misses += 1
+            metrics().inc("cache.misses")
             return None
         self._data.move_to_end(key)
         self.hits += 1
+        metrics().inc("cache.hits")
         return value
 
     def put(self, key: tuple, value: Any) -> None:
         """Insert (or refresh) an entry, evicting the least recently used."""
+        registry = metrics()
+        size = _approx_nbytes(value)
+        if key in self._sizes:
+            self.resident_bytes -= self._sizes[key]
         self._data[key] = value
+        self._sizes[key] = size
+        self.resident_bytes += size
         self._data.move_to_end(key)
+        if registry.enabled:
+            registry.inc("cache.puts")
+            registry.inc("cache.bytes_stored", size)
         while len(self._data) > self.max_entries:
-            self._data.popitem(last=False)
+            evicted_key, _ = self._data.popitem(last=False)
+            self.resident_bytes -= self._sizes.pop(evicted_key, 0)
+            self.evictions += 1
+            registry.inc("cache.evictions")
+        if registry.enabled:
+            registry.gauge("cache.resident_bytes", self.resident_bytes)
 
     def clear(self) -> None:
-        """Drop all entries and reset the hit/miss counters."""
+        """Drop all entries and reset every counter."""
         self._data.clear()
+        self._sizes.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.resident_bytes = 0
 
     def stats(self) -> dict[str, int]:
-        """Counters for reporting: entries, hits, misses."""
-        return {"entries": len(self._data), "hits": self.hits, "misses": self.misses}
+        """Counters for reporting: entries, hits, misses, evictions, bytes."""
+        return {
+            "entries": len(self._data),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "resident_bytes": self.resident_bytes,
+        }
 
     def __len__(self) -> int:
         return len(self._data)
@@ -252,35 +430,42 @@ def observed_days(
     Cache-aware and parallel: cached days are returned immediately, the
     rest fan out over the process pool (``jobs``) or run inline.
     """
-    days = [int(d) for d in days]
-    config_hash, takedown = _context(scenario)
-    results: dict[int, FlowTable] = {}
-    missing: list[int] = []
-    for day in days:
-        if cache:
-            hit = _DAY_CACHE.get(_key("observed", config_hash, takedown, vantage, day, with_takedown))
-            if hit is not None:
-                results[day] = hit
-                continue
-        missing.append(day)
-    if missing:
-        n_jobs = resolve_jobs(jobs)
-        specs = [DaySpec(scenario.config, d, vantage, with_takedown, takedown) for d in missing]
-        if n_jobs > 1:
-            register_scenario(scenario)
-            tables = _pool_map(_observed_task, specs, n_jobs)
-        else:
-            tables = []
-            for spec in specs:
-                traffic = scenario.day_traffic(spec.day, with_takedown=with_takedown)
-                tables.append(scenario.observe_day(vantage, traffic))
-        for day, table in zip(missing, tables):
-            results[day] = table
+    with metrics().span("parallel.observed_days"):
+        days = [int(d) for d in days]
+        config_hash, takedown = _context(scenario)
+        results: dict[int, FlowTable] = {}
+        missing: list[int] = []
+        for day in days:
             if cache:
-                _DAY_CACHE.put(
-                    _key("observed", config_hash, takedown, vantage, day, with_takedown), table
-                )
-    return [results[day] for day in days]
+                hit = _cache_get(_key("observed", config_hash, takedown, vantage, day, with_takedown))
+                if hit is not None:
+                    results[day] = hit[0]
+                    continue
+            missing.append(day)
+        if missing:
+            n_jobs = resolve_jobs(jobs)
+            metrics().inc("parallel.days_dispatched", len(missing))
+            specs = [DaySpec(scenario.config, d, vantage, with_takedown, takedown) for d in missing]
+            if n_jobs > 1:
+                register_scenario(scenario)
+                pairs = _pool_map_with_deltas(_observed_task, specs, n_jobs)
+            else:
+                pairs = []
+                registry = metrics()
+                for spec in specs:
+                    before = _counters_snapshot(registry)
+                    traffic = scenario.day_traffic(spec.day, with_takedown=with_takedown)
+                    table = scenario.observe_day(vantage, traffic)
+                    pairs.append((table, _counters_delta(registry, before)))
+            for day, (table, deltas) in zip(missing, pairs):
+                results[day] = table
+                if cache:
+                    _cache_put(
+                        _key("observed", config_hash, takedown, vantage, day, with_takedown),
+                        table,
+                        deltas,
+                    )
+        return [results[day] for day in days]
 
 
 def daily_port_counts(
@@ -298,53 +483,67 @@ def daily_port_counts(
     the cache enabled, a day is served from its cached counts, derived
     from a cached observed table if one exists, or regenerated.
     """
-    selectors = list(selectors)
-    fingerprint = tuple((s.name, s.port, s.direction) for s in selectors)
-    config_hash, takedown = _context(scenario)
-    counts: dict[int, dict[str, int]] = {}
-    missing: list[int] = []
-    for day in [int(d) for d in days]:
-        if cache:
-            ports_key = _key("ports", config_hash, takedown, vantage, day, with_takedown, fingerprint)
-            hit = _DAY_CACHE.get(ports_key)
-            if hit is not None:
-                counts[day] = hit
-                continue
-            observed = _DAY_CACHE.get(_key("observed", config_hash, takedown, vantage, day, with_takedown))
-            if observed is not None:
-                counts[day] = {s.name: s.packets(observed) for s in selectors}
-                _DAY_CACHE.put(ports_key, counts[day])
-                continue
-        missing.append(day)
-    if missing:
-        n_jobs = resolve_jobs(jobs)
-        specs = [DaySpec(scenario.config, d, vantage, with_takedown, takedown) for d in missing]
-        if n_jobs > 1:
-            register_scenario(scenario)
-            fresh = _pool_map(partial(_port_counts_task, selectors=selectors), specs, n_jobs)
-            for day, value in zip(missing, fresh):
-                counts[day] = value
-                if cache:
-                    _DAY_CACHE.put(
-                        _key("ports", config_hash, takedown, vantage, day, with_takedown, fingerprint),
-                        value,
-                    )
-        else:
-            # Serial: also cache the observed table so later experiments
-            # over the same days (any reduction) can reuse it.
-            for day in missing:
-                traffic = scenario.day_traffic(day, with_takedown=with_takedown)
-                observed = scenario.observe_day(vantage, traffic)
-                counts[day] = {s.name: s.packets(observed) for s in selectors}
-                if cache:
-                    _DAY_CACHE.put(
-                        _key("observed", config_hash, takedown, vantage, day, with_takedown), observed
-                    )
-                    _DAY_CACHE.put(
-                        _key("ports", config_hash, takedown, vantage, day, with_takedown, fingerprint),
-                        counts[day],
-                    )
-    return counts
+    with metrics().span("parallel.daily_port_counts"):
+        selectors = list(selectors)
+        fingerprint = tuple((s.name, s.port, s.direction) for s in selectors)
+        config_hash, takedown = _context(scenario)
+        counts: dict[int, dict[str, int]] = {}
+        missing: list[int] = []
+        for day in [int(d) for d in days]:
+            if cache:
+                ports_key = _key("ports", config_hash, takedown, vantage, day, with_takedown, fingerprint)
+                hit = _cache_get(ports_key)
+                if hit is not None:
+                    counts[day] = hit[0]
+                    continue
+                observed_hit = _cache_get(
+                    _key("observed", config_hash, takedown, vantage, day, with_takedown)
+                )
+                if observed_hit is not None:
+                    observed, deltas = observed_hit
+                    counts[day] = {s.name: s.packets(observed) for s in selectors}
+                    _cache_put(ports_key, counts[day], deltas)
+                    continue
+            missing.append(day)
+        if missing:
+            n_jobs = resolve_jobs(jobs)
+            metrics().inc("parallel.days_dispatched", len(missing))
+            specs = [DaySpec(scenario.config, d, vantage, with_takedown, takedown) for d in missing]
+            if n_jobs > 1:
+                register_scenario(scenario)
+                fresh = _pool_map_with_deltas(
+                    partial(_port_counts_task, selectors=selectors), specs, n_jobs
+                )
+                for day, (value, deltas) in zip(missing, fresh):
+                    counts[day] = value
+                    if cache:
+                        _cache_put(
+                            _key("ports", config_hash, takedown, vantage, day, with_takedown, fingerprint),
+                            value,
+                            deltas,
+                        )
+            else:
+                # Serial: also cache the observed table so later experiments
+                # over the same days (any reduction) can reuse it.
+                registry = metrics()
+                for day in missing:
+                    before = _counters_snapshot(registry)
+                    traffic = scenario.day_traffic(day, with_takedown=with_takedown)
+                    observed = scenario.observe_day(vantage, traffic)
+                    counts[day] = {s.name: s.packets(observed) for s in selectors}
+                    if cache:
+                        deltas = _counters_delta(registry, before)
+                        _cache_put(
+                            _key("observed", config_hash, takedown, vantage, day, with_takedown),
+                            observed,
+                            deltas,
+                        )
+                        _cache_put(
+                            _key("ports", config_hash, takedown, vantage, day, with_takedown, fingerprint),
+                            counts[day],
+                            deltas,
+                        )
+        return counts
 
 
 def streaming_ingest(
@@ -363,48 +562,54 @@ def streaming_ingest(
     into its own clone and the clones fold back order-independently.
     Cached observed days are ingested directly in the parent.
     """
-    days = [int(d) for d in days]
-    config_hash, takedown = _context(scenario)
-    pending: list[int] = []
-    for day in days:
-        if cache:
-            observed = _DAY_CACHE.get(_key("observed", config_hash, takedown, vantage, day, with_takedown))
-            if observed is not None:
-                analyzer.ingest_day(day, observed)
-                continue
-        pending.append(day)
-    if not pending:
-        return analyzer
-    n_jobs = resolve_jobs(jobs)
-    if n_jobs > 1 and len(pending) > 1:
-        if not (hasattr(analyzer, "clone_empty") and hasattr(analyzer, "merge")):
-            raise TypeError(
-                "parallel collect_streaming needs an analyzer with the merge "
-                "protocol (clone_empty() and merge()); got "
-                f"{type(analyzer).__name__}"
-            )
-        register_scenario(scenario)
-        n_chunks = min(len(pending), n_jobs * 4)
-        chunks = [pending[i::n_chunks] for i in range(n_chunks)]
-        tasks = [
-            (
-                tuple(DaySpec(scenario.config, d, vantage, with_takedown, takedown) for d in chunk),
-                analyzer.clone_empty(),
-            )
-            for chunk in chunks
-        ]
-        for part in _pool_map(_ingest_chunk_task, tasks, n_jobs):
-            analyzer.merge(part)
-    else:
-        for day in pending:
-            traffic = scenario.day_traffic(day, with_takedown=with_takedown)
-            observed = scenario.observe_day(vantage, traffic)
+    with metrics().span("parallel.streaming_ingest"):
+        days = [int(d) for d in days]
+        config_hash, takedown = _context(scenario)
+        pending: list[int] = []
+        for day in days:
             if cache:
-                _DAY_CACHE.put(
-                    _key("observed", config_hash, takedown, vantage, day, with_takedown), observed
+                hit = _cache_get(_key("observed", config_hash, takedown, vantage, day, with_takedown))
+                if hit is not None:
+                    analyzer.ingest_day(day, hit[0])
+                    continue
+            pending.append(day)
+        if not pending:
+            return analyzer
+        n_jobs = resolve_jobs(jobs)
+        metrics().inc("parallel.days_dispatched", len(pending))
+        if n_jobs > 1 and len(pending) > 1:
+            if not (hasattr(analyzer, "clone_empty") and hasattr(analyzer, "merge")):
+                raise TypeError(
+                    "parallel collect_streaming needs an analyzer with the merge "
+                    "protocol (clone_empty() and merge()); got "
+                    f"{type(analyzer).__name__}"
                 )
-            analyzer.ingest_day(day, observed)
-    return analyzer
+            register_scenario(scenario)
+            n_chunks = min(len(pending), n_jobs * 4)
+            chunks = [pending[i::n_chunks] for i in range(n_chunks)]
+            tasks = [
+                (
+                    tuple(DaySpec(scenario.config, d, vantage, with_takedown, takedown) for d in chunk),
+                    analyzer.clone_empty(),
+                )
+                for chunk in chunks
+            ]
+            for part in _pool_map(_ingest_chunk_task, tasks, n_jobs):
+                analyzer.merge(part)
+        else:
+            registry = metrics()
+            for day in pending:
+                before = _counters_snapshot(registry)
+                traffic = scenario.day_traffic(day, with_takedown=with_takedown)
+                observed = scenario.observe_day(vantage, traffic)
+                if cache:
+                    _cache_put(
+                        _key("observed", config_hash, takedown, vantage, day, with_takedown),
+                        observed,
+                        _counters_delta(registry, before),
+                    )
+                analyzer.ingest_day(day, observed)
+        return analyzer
 
 
 def day_events(
@@ -417,12 +622,14 @@ def day_events(
     config_hash, takedown = _context(scenario)
     key = _key("events", config_hash, takedown, None, day, with_takedown)
     if cache:
-        hit = _DAY_CACHE.get(key)
+        hit = _cache_get(key)
         if hit is not None:
-            return hit
+            return hit[0]
+    registry = metrics()
+    before = _counters_snapshot(registry)
     events = scenario.day_events(day, with_takedown=with_takedown)
     if cache:
-        _DAY_CACHE.put(key, events)
+        _cache_put(key, events, _counters_delta(registry, before))
     return events
 
 
@@ -434,29 +641,36 @@ def day_attack_tables(
     cache: bool = False,
 ) -> list[FlowTable]:
     """Ground-truth attack flow tables per day, in ``days`` order."""
-    days = [int(d) for d in days]
-    config_hash, takedown = _context(scenario)
-    results: dict[int, FlowTable] = {}
-    missing: list[int] = []
-    for day in days:
-        if cache:
-            hit = _DAY_CACHE.get(_key("attack", config_hash, takedown, None, day, with_takedown))
-            if hit is not None:
-                results[day] = hit
-                continue
-        missing.append(day)
-    if missing:
-        n_jobs = resolve_jobs(jobs)
-        specs = [DaySpec(scenario.config, d, None, with_takedown, takedown) for d in missing]
-        if n_jobs > 1:
-            register_scenario(scenario)
-            tables = _pool_map(_attack_table_task, specs, n_jobs)
-        else:
-            tables = [
-                scenario.day_traffic(d, with_takedown=with_takedown).attack for d in missing
-            ]
-        for day, table in zip(missing, tables):
-            results[day] = table
+    with metrics().span("parallel.day_attack_tables"):
+        days = [int(d) for d in days]
+        config_hash, takedown = _context(scenario)
+        results: dict[int, FlowTable] = {}
+        missing: list[int] = []
+        for day in days:
             if cache:
-                _DAY_CACHE.put(_key("attack", config_hash, takedown, None, day, with_takedown), table)
-    return [results[day] for day in days]
+                hit = _cache_get(_key("attack", config_hash, takedown, None, day, with_takedown))
+                if hit is not None:
+                    results[day] = hit[0]
+                    continue
+            missing.append(day)
+        if missing:
+            n_jobs = resolve_jobs(jobs)
+            metrics().inc("parallel.days_dispatched", len(missing))
+            specs = [DaySpec(scenario.config, d, None, with_takedown, takedown) for d in missing]
+            if n_jobs > 1:
+                register_scenario(scenario)
+                pairs = _pool_map_with_deltas(_attack_table_task, specs, n_jobs)
+            else:
+                pairs = []
+                registry = metrics()
+                for d in missing:
+                    before = _counters_snapshot(registry)
+                    table = scenario.day_traffic(d, with_takedown=with_takedown).attack
+                    pairs.append((table, _counters_delta(registry, before)))
+            for day, (table, deltas) in zip(missing, pairs):
+                results[day] = table
+                if cache:
+                    _cache_put(
+                        _key("attack", config_hash, takedown, None, day, with_takedown), table, deltas
+                    )
+        return [results[day] for day in days]

@@ -25,6 +25,7 @@ from repro.core.pipeline import TrafficSelector
 from repro.core.victims import attacks_per_hour
 from repro.flows.records import FlowTable
 from repro.flows.sketch import PerKeyCardinality
+from repro.obs import metrics
 
 __all__ = ["StreamingAnalyzer", "StreamingVictimStats"]
 
@@ -89,38 +90,43 @@ class StreamingAnalyzer:
         if day in self._days_seen:
             raise ValueError(f"day {day} ingested twice")
         self._days_seen.add(day)
+        registry = metrics()
+        if registry.enabled:
+            registry.inc("streaming.days_ingested")
+            registry.inc("streaming.flows_ingested", len(observed))
 
-        # Track 1: daily per-selector packet sums.
-        for selector in self.selectors:
-            self.daily[selector.name][day] = selector.packets(observed)
+        with registry.span("streaming.ingest_day"):
+            # Track 1: daily per-selector packet sums.
+            for selector in self.selectors:
+                self.daily[selector.name][day] = selector.packets(observed)
 
-        # Track 2: per-destination aggregates over amplification traffic.
-        amplified = self._optimistic.amplification_flows(observed)
-        if len(amplified):
-            self._sources.update(amplified["dst_ip"], amplified["src_ip"])
-            minute = (amplified["time"] // 60.0).astype(np.int64)
-            keys = amplified["dst_ip"].astype(np.int64) * (1 << 32) + minute
-            uniq, inverse = np.unique(keys, return_inverse=True)
-            per_min = np.zeros(uniq.size)
-            np.add.at(per_min, inverse, amplified["bytes"].astype(np.float64))
-            dsts = (uniq >> 32).astype(np.uint32)
-            for dst, value in zip(dsts.tolist(), per_min.tolist()):
-                if value > self._peak_bytes_per_min.get(dst, 0.0):
-                    self._peak_bytes_per_min[dst] = value
-            for dst, pkts in zip(
-                amplified["dst_ip"].tolist(), amplified["packets"].tolist()
-            ):
-                self._total_packets[dst] = self._total_packets.get(dst, 0) + pkts
+            # Track 2: per-destination aggregates over amplification traffic.
+            amplified = self._optimistic.amplification_flows(observed)
+            if len(amplified):
+                self._sources.update(amplified["dst_ip"], amplified["src_ip"])
+                minute = (amplified["time"] // 60.0).astype(np.int64)
+                keys = amplified["dst_ip"].astype(np.int64) * (1 << 32) + minute
+                uniq, inverse = np.unique(keys, return_inverse=True)
+                per_min = np.zeros(uniq.size)
+                np.add.at(per_min, inverse, amplified["bytes"].astype(np.float64))
+                dsts = (uniq >> 32).astype(np.uint32)
+                for dst, value in zip(dsts.tolist(), per_min.tolist()):
+                    if value > self._peak_bytes_per_min.get(dst, 0.0):
+                        self._peak_bytes_per_min[dst] = value
+                for dst, pkts in zip(
+                    amplified["dst_ip"].tolist(), amplified["packets"].tolist()
+                ):
+                    self._total_packets[dst] = self._total_packets.get(dst, 0) + pkts
 
-        # Track 3: hourly conservative attack counts.
-        hourly = attacks_per_hour(
-            observed,
-            day * SECONDS_PER_DAY,
-            (day + 1) * SECONDS_PER_DAY,
-            thresholds=self.thresholds,
-            sampling_factor=self.sampling_factor,
-        )
-        self.hourly_attacks[day * 24 : (day + 1) * 24] = hourly
+            # Track 3: hourly conservative attack counts.
+            hourly = attacks_per_hour(
+                observed,
+                day * SECONDS_PER_DAY,
+                (day + 1) * SECONDS_PER_DAY,
+                thresholds=self.thresholds,
+                sampling_factor=self.sampling_factor,
+            )
+            self.hourly_attacks[day * 24 : (day + 1) * 24] = hourly
 
     # -- parallel merge protocol --------------------------------------------------
 

@@ -28,12 +28,16 @@ class ExperimentConfig:
     (0 = all cores; day results are bit-identical for any ``jobs``).
     ``cache`` enables the process-wide day-result cache so experiments
     sharing day ranges reuse each other's per-day work.
+    ``metrics_out`` asks the runner to record pipeline metrics and write
+    them to this path as stable-schema JSON (``--metrics-out``); it does
+    not change any result, only observability.
     """
 
     preset: str = "small"
     seed: int = 2018
     jobs: int = 1
     cache: bool = False
+    metrics_out: str | None = None
 
     def __post_init__(self) -> None:
         if self.preset not in ("small", "paper"):

@@ -7,6 +7,8 @@ Usage::
     repro-experiments all --jobs 4         # day-parallel (bit-identical)
     repro-experiments fig1a fig1b --seed 7
     repro-experiments fig4 fig5 --no-cache # disable the day-result cache
+    repro-experiments all --jobs 2 --metrics-out metrics.json
+    repro-experiments fig4 --profile       # per-stage profile table only
 """
 
 from __future__ import annotations
@@ -18,6 +20,7 @@ import time
 from repro.core.parallel import day_cache
 from repro.experiments.base import ExperimentConfig
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.obs import MetricsRegistry, export_metrics, render_profile, set_metrics
 
 __all__ = ["main"]
 
@@ -48,6 +51,20 @@ def _parser() -> argparse.ArgumentParser:
         help="reuse per-day results across experiments in this run",
     )
     parser.add_argument(
+        "--metrics-out",
+        dest="metrics_out",
+        metavar="PATH",
+        help="record pipeline metrics and write them to PATH as JSON "
+        "(stable schema repro.obs.export/1); implies --profile",
+    )
+    parser.add_argument(
+        "--profile",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="print a per-experiment profile table (stage, calls, "
+        "total/mean ms, cache hit rate, pool utilization)",
+    )
+    parser.add_argument(
         "--output",
         help="also write a markdown report of all results to this path",
     )
@@ -63,16 +80,33 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         return 2
     config = ExperimentConfig(
-        preset=args.preset, seed=args.seed, jobs=args.jobs, cache=args.cache
+        preset=args.preset,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache=args.cache,
+        metrics_out=args.metrics_out,
     )
+    record = bool(args.metrics_out) or args.profile
+    total_registry = MetricsRegistry(enabled=record)
+    per_experiment: dict[str, MetricsRegistry] = {}
     results = []
     for experiment_id in ids:
         before = day_cache().stats()
+        registry = MetricsRegistry(enabled=record)
+        previous = set_metrics(registry)
         start = time.perf_counter()
-        result = run_experiment(experiment_id, config)
+        try:
+            result = run_experiment(experiment_id, config)
+        finally:
+            set_metrics(previous)
         elapsed = time.perf_counter() - start
         results.append(result)
         print(result.render())
+        if record:
+            per_experiment[experiment_id] = registry
+            total_registry.merge(registry)
+            print()
+            print(render_profile(registry, title=f"--- {experiment_id} profile ---"))
         status = f"[{experiment_id} completed in {elapsed:.1f}s"
         if args.cache:
             after = day_cache().stats()
@@ -82,6 +116,23 @@ def main(argv: list[str] | None = None) -> int:
                 f", {after['entries']} entries"
             )
         print(f"\n{status}]\n")
+    if record:
+        print(render_profile(total_registry, title="=== run profile (all experiments) ==="))
+        print()
+    if args.metrics_out:
+        path = export_metrics(
+            per_experiment,
+            total_registry,
+            args.metrics_out,
+            run_info={
+                "preset": args.preset,
+                "seed": args.seed,
+                "jobs": args.jobs,
+                "cache": args.cache,
+                "experiments": ids,
+            },
+        )
+        print(f"metrics written to {path}")
     if args.output:
         from repro.experiments.report import write_report
 

@@ -1,0 +1,42 @@
+"""Observability: metrics registry, span timers, profile rendering.
+
+Lightweight and dependency-free. Library code records unconditionally
+into the active registry (:func:`metrics`), which is a disabled no-op
+unless a run installs an enabled one (``repro-experiments
+--metrics-out`` / ``--profile``, or :func:`use_metrics` in the API).
+Worker processes record into their own registries, which ship back with
+task results and fold into the parent via
+:meth:`MetricsRegistry.merge` — the same reduction shape as
+``StreamingAnalyzer.merge()``, so ``jobs=1`` and ``jobs=N`` runs agree
+on every deterministic counter.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    SpanStats,
+    metrics,
+    set_metrics,
+    use_metrics,
+)
+from repro.obs.profile import (
+    cache_hit_rate,
+    export_metrics,
+    pool_utilization,
+    render_profile,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanStats",
+    "metrics",
+    "set_metrics",
+    "use_metrics",
+    "cache_hit_rate",
+    "export_metrics",
+    "pool_utilization",
+    "render_profile",
+]

@@ -1,0 +1,122 @@
+"""Render a recorded registry as a profile table and export it as JSON.
+
+The profile table is the runner's per-experiment view of where time
+went: one row per span call-tree node (indented by depth), plus summary
+lines derived from the cache and pool counters. The JSON export is the
+stable schema behind ``repro-experiments --metrics-out``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "cache_hit_rate",
+    "pool_utilization",
+    "render_profile",
+    "export_metrics",
+]
+
+
+def cache_hit_rate(registry: MetricsRegistry) -> float | None:
+    """Day-cache hit rate over the recorded run, or ``None`` if unused."""
+    hits = registry.counter("cache.hits")
+    misses = registry.counter("cache.misses")
+    total = hits + misses
+    if total == 0:
+        return None
+    return hits / total
+
+
+def pool_utilization(registry: MetricsRegistry) -> float | None:
+    """Worker-pool busy fraction: task busy time over pool capacity.
+
+    Capacity is accumulated per pool run as ``workers x wall`` seconds,
+    busy time as the sum of worker task wall times, so the ratio is the
+    average fraction of pool slots doing work. ``None`` if no pool ran.
+    """
+    capacity = registry.counter("pool.capacity_s")
+    if capacity == 0:
+        return None
+    return registry.counter("pool.busy_s") / capacity
+
+
+def _format_row(cells: list[str], widths: list[int]) -> str:
+    return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+
+def render_profile(registry: MetricsRegistry, title: str | None = None) -> str:
+    """Aligned per-stage profile table plus cache/pool summary lines.
+
+    Rows are span call-tree nodes in path order, indented by nesting
+    depth, with calls, total and mean wall-clock milliseconds.
+    """
+    headers = ["stage", "calls", "total ms", "mean ms"]
+    rows: list[list[str]] = []
+    for path, node in sorted(registry.spans.items()):
+        indent = "  " * (len(path) - 1)
+        total_ms = node.total_s * 1e3
+        mean_ms = total_ms / node.calls if node.calls else 0.0
+        rows.append(
+            [f"{indent}{path[-1]}", str(node.calls), f"{total_ms:.1f}", f"{mean_ms:.2f}"]
+        )
+    if not rows:
+        rows.append(["(no spans recorded)", "-", "-", "-"])
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(_format_row(headers, widths))
+    lines.append(_format_row(["-" * w for w in widths], widths))
+    lines.extend(_format_row(row, widths) for row in rows)
+
+    summary: list[str] = []
+    hit_rate = cache_hit_rate(registry)
+    if hit_rate is not None:
+        summary.append(
+            f"day-cache hit rate: {hit_rate * 100:.1f}% "
+            f"({registry.counter('cache.hits'):.0f}/"
+            f"{registry.counter('cache.hits') + registry.counter('cache.misses'):.0f})"
+        )
+    utilization = pool_utilization(registry)
+    if utilization is not None:
+        summary.append(
+            f"pool utilization: {utilization * 100:.1f}% "
+            f"({registry.gauges.get('pool.workers', 0):.0f} workers, "
+            f"{registry.counter('pool.tasks'):.0f} tasks)"
+        )
+    if summary:
+        lines.append("  |  ".join(summary))
+    return "\n".join(lines)
+
+
+def export_metrics(
+    per_experiment: dict[str, MetricsRegistry],
+    total: MetricsRegistry,
+    path: str | Path,
+    run_info: dict[str, Any] | None = None,
+) -> Path:
+    """Write the run's metrics to ``path`` as stable-schema JSON.
+
+    The file carries one registry dump per experiment plus the merged
+    run total and the run parameters, under a versioned ``schema`` key
+    so downstream tooling can detect format changes.
+    """
+    payload = {
+        "schema": "repro.obs.export/1",
+        "run": dict(run_info or {}),
+        "experiments": {
+            experiment_id: registry.to_dict()
+            for experiment_id, registry in sorted(per_experiment.items())
+        },
+        "total": total.to_dict(),
+    }
+    out = Path(path)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return out

@@ -18,6 +18,7 @@ from repro.flows.records import FlowTable
 from repro.netmodel.addressing import Prefix
 from repro.netmodel.asn import ASRole, AutonomousSystem
 from repro.netmodel.topology import build_topology
+from repro.obs import metrics
 from repro.scenario.background import BenignBackground
 from repro.scenario.config import ScenarioConfig
 from repro.stats.rng import SeedSequenceTree
@@ -200,38 +201,51 @@ class Scenario:
         if cache and key in self._day_cache:
             return self._day_cache[key]
 
-        # attacks_for_day normalizes the weights (they only set the
-        # per-service mix); the takedown's *total* demand level must be
-        # applied through the scale factor.
-        weights, activity, demand_level = self._day_demand(day, with_takedown)
-        events = self.market.attacks_for_day(
-            day, demand_weights=weights, demand_scale=self.config.scale * demand_level
-        )
-        rng = self.seeds.child("traffic", day).rng()
-        attack_tables: list[FlowTable] = []
-        trigger_tables: list[FlowTable] = []
-        for event in events:
-            attack_tables.append(synthesize_attack_flows(event, rng, bin_seconds=bin_seconds))
-            backend = self.market.services[event.booter]
-            trigger_tables.append(
-                synthesize_trigger_flows(
-                    event, rng, bin_seconds=bin_seconds, origin_asn=backend.backend_asn
-                )
+        registry = metrics()
+        with registry.span("scenario.day_traffic"):
+            # attacks_for_day normalizes the weights (they only set the
+            # per-service mix); the takedown's *total* demand level must be
+            # applied through the scale factor.
+            weights, activity, demand_level = self._day_demand(day, with_takedown)
+            events = self.market.attacks_for_day(
+                day, demand_weights=weights, demand_scale=self.config.scale * demand_level
             )
-        # Scan volume scales with the simulated world size like everything else.
-        if activity is None:
-            activity = {name: 1.0 for name in self.market.services}
-        scaled_activity = {n: a * self.config.scale for n, a in activity.items()}
-        scan = self.market.scan_flows_for_day(day, activity=scaled_activity)
-        benign = self.background.flows_for_day(day, intensity_scale=self.config.scale)
-        traffic = DayTraffic(
-            day=day,
-            events=events,
-            attack=FlowTable.concat(attack_tables),
-            trigger=FlowTable.concat(trigger_tables),
-            scan=scan,
-            benign=benign,
-        )
+            rng = self.seeds.child("traffic", day).rng()
+            attack_tables: list[FlowTable] = []
+            trigger_tables: list[FlowTable] = []
+            with registry.span("scenario.synthesize_flows"):
+                for event in events:
+                    attack_tables.append(
+                        synthesize_attack_flows(event, rng, bin_seconds=bin_seconds)
+                    )
+                    backend = self.market.services[event.booter]
+                    trigger_tables.append(
+                        synthesize_trigger_flows(
+                            event, rng, bin_seconds=bin_seconds, origin_asn=backend.backend_asn
+                        )
+                    )
+                # Scan volume scales with the simulated world size like
+                # everything else.
+                if activity is None:
+                    activity = {name: 1.0 for name in self.market.services}
+                scaled_activity = {n: a * self.config.scale for n, a in activity.items()}
+                scan = self.market.scan_flows_for_day(day, activity=scaled_activity)
+                benign = self.background.flows_for_day(day, intensity_scale=self.config.scale)
+            traffic = DayTraffic(
+                day=day,
+                events=events,
+                attack=FlowTable.concat(attack_tables),
+                trigger=FlowTable.concat(trigger_tables),
+                scan=scan,
+                benign=benign,
+            )
+            if registry.enabled:
+                registry.inc("scenario.days_generated")
+                registry.inc("scenario.attacks_generated", len(events))
+                registry.inc(
+                    "scenario.flows_synthesized",
+                    len(traffic.attack) + len(traffic.trigger) + len(scan) + len(benign),
+                )
         if cache:
             self._day_cache[key] = traffic
         return traffic
@@ -244,9 +258,15 @@ class Scenario:
     ) -> FlowTable:
         """What ``vantage`` ('ixp' | 'tier1' | 'tier2') exports for the day."""
         vp = self.vantage_point(vantage)
-        table = FlowTable.concat([getattr(traffic, kind) for kind in kinds])
-        rng = self.seeds.child("observe", vantage, traffic.day).rng()
-        return vp.observe(table, rng)
+        registry = metrics()
+        with registry.span("scenario.observe_day"):
+            table = FlowTable.concat([getattr(traffic, kind) for kind in kinds])
+            rng = self.seeds.child("observe", vantage, traffic.day).rng()
+            observed = vp.observe(table, rng)
+        if registry.enabled:
+            registry.inc("scenario.days_observed")
+            registry.inc("scenario.flows_observed", len(observed))
+        return observed
 
     def vantage_point(self, name: str) -> VantagePoint:
         try:

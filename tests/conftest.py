@@ -1,0 +1,19 @@
+"""Shared pytest configuration for the test suite."""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/goldens/*.json from the current outputs "
+        "instead of comparing against them (use after an intentional "
+        "behaviour change; commit the refreshed files)",
+    )
+
+
+@pytest.fixture
+def update_goldens(request) -> bool:
+    return request.config.getoption("--update-goldens")

@@ -23,6 +23,7 @@ PACKAGES = [
     "repro.economics",
     "repro.mitigation",
     "repro.honeypot",
+    "repro.obs",
 ]
 
 

@@ -290,3 +290,138 @@ class TestDayResultCache:
         truth = scenario.day_traffic(40).attack
         np.testing.assert_array_equal(tables[0]["packets"], truth["packets"])
         np.testing.assert_array_equal(tables[0]["dst_ip"], truth["dst_ip"])
+
+
+class TestDayResultCacheEdgeCases:
+    def test_eviction_exactly_at_max_entries_boundary(self):
+        cache = DayResultCache(max_entries=3)
+        for i in range(3):
+            cache.put((i,), i)
+        # Exactly full: no eviction yet.
+        assert len(cache) == 3
+        assert cache.evictions == 0
+        cache.put((3,), 3)  # one past the boundary evicts exactly one (the LRU)
+        assert len(cache) == 3
+        assert cache.evictions == 1
+        assert cache.get((0,)) is None
+        assert cache.get((3,)) == 3
+
+    def test_refreshing_existing_key_never_evicts(self):
+        cache = DayResultCache(max_entries=2)
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        cache.put(("a",), 10)  # overwrite, still 2 entries
+        assert len(cache) == 2
+        assert cache.evictions == 0
+        assert cache.get(("a",)) == 10
+
+    def test_resident_bytes_tracks_puts_and_evictions(self):
+        cache = DayResultCache(max_entries=2)
+        one_kb = np.zeros(1024, dtype=np.uint8)
+        cache.put(("a",), one_kb)
+        cache.put(("b",), one_kb)
+        assert cache.resident_bytes == 2048
+        cache.put(("c",), one_kb)  # evicts 'a'
+        assert cache.resident_bytes == 2048
+        cache.put(("b",), np.zeros(512, dtype=np.uint8))  # overwrite shrinks
+        assert cache.resident_bytes == 1536
+        assert cache.stats()["resident_bytes"] == 1536
+        cache.clear()
+        assert cache.resident_bytes == 0
+
+    def test_clear_mid_run_is_correct_just_slower(self, scenario):
+        cache = day_cache()
+        cache.clear()
+        first = collect_daily_port_series(
+            scenario, "tier2", SELECTORS, day_range=(40, 43), cache=True
+        )
+        cache.clear()  # mid-run invalidation: everything regenerates
+        assert len(cache) == 0 and cache.stats()["hits"] == 0
+        second = collect_daily_port_series(
+            scenario, "tier2", SELECTORS, day_range=(40, 43), cache=True
+        )
+        for name in ("ntp_to", "ntp_from"):
+            np.testing.assert_array_equal(first.get(name), second.get(name))
+        cache.clear()
+
+    def test_cache_disabled_vs_enabled_bit_identity(self, scenario):
+        day_cache().clear()
+        plain = collect_daily_port_series(
+            scenario, "tier2", SELECTORS, day_range=(40, 44), cache=False
+        )
+        warm = collect_daily_port_series(
+            scenario, "tier2", SELECTORS, day_range=(40, 44), cache=True
+        )
+        served = collect_daily_port_series(
+            scenario, "tier2", SELECTORS, day_range=(40, 44), cache=True
+        )
+        for name in ("ntp_to", "ntp_from"):
+            np.testing.assert_array_equal(plain.get(name), warm.get(name))
+            np.testing.assert_array_equal(plain.get(name), served.get(name))
+        day_cache().clear()
+
+    def test_max_entries_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            DayResultCache(max_entries=0)
+
+
+class TestJobsValidation:
+    def test_negative_jobs_rejected_with_clear_error(self):
+        with pytest.raises(ValueError, match=r"got -3.*negative worker count"):
+            resolve_jobs(-3)
+
+    def test_negative_jobs_never_reach_the_pool(self, scenario):
+        # The ValueError comes from resolve_jobs, not from
+        # ProcessPoolExecutor's own max_workers check.
+        with pytest.raises(ValueError, match="worker count"):
+            observed_days(scenario, "ixp", [40, 41], jobs=-2)
+        with pytest.raises(ValueError, match="worker count"):
+            collect_daily_port_series(
+                scenario, "ixp", SELECTORS, day_range=(40, 42), jobs=-2
+            )
+
+    def test_experiment_config_rejects_negative_jobs(self):
+        from repro.experiments.base import ExperimentConfig
+
+        with pytest.raises(ValueError, match="jobs"):
+            ExperimentConfig(jobs=-1)
+
+
+class TestPerDayHook:
+    def test_parallel_hook_error_names_call_site(self, scenario):
+        def my_audit_hook(day, table):
+            pass
+
+        with pytest.raises(ValueError) as excinfo:
+            collect_daily_port_series(
+                scenario,
+                "ixp",
+                SELECTORS,
+                day_range=(40, 42),
+                per_day_hook=my_audit_hook,
+                jobs=3,
+            )
+        message = str(excinfo.value)
+        assert "collect_daily_port_series" in message
+        assert "my_audit_hook" in message
+        assert "jobs=3" in message
+        assert "jobs=1" in message  # the fix is spelled out
+
+    def test_serial_hook_sees_every_observed_day(self, scenario):
+        seen = {}
+        series = collect_daily_port_series(
+            scenario,
+            "ixp",
+            SELECTORS,
+            day_range=(40, 43),
+            per_day_hook=lambda day, table: seen.setdefault(day, len(table)),
+            jobs=1,
+        )
+        assert sorted(seen) == [40, 41, 42]
+        # The hook receives the same observed tables the series is built
+        # from, and running it does not perturb the series itself.
+        for day in seen:
+            assert seen[day] == len(scenario.observe_day("ixp", scenario.day_traffic(day)))
+        plain = collect_daily_port_series(scenario, "ixp", SELECTORS, day_range=(40, 43))
+        for name in ("ntp_to", "ntp_from"):
+            np.testing.assert_array_equal(series.get(name), plain.get(name))

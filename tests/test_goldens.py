@@ -1,0 +1,98 @@
+"""Golden-regression snapshots of small-preset experiment outputs.
+
+Perf PRs (parallelism, caching, vectorization) must not change *what*
+the experiments compute, only how fast. These tests pin the rendered
+outputs of cheap, deterministic drivers (``table1``/``fig1a``/``fig2a``
+at the small preset, seed 2018) plus the scenario config content hash
+under ``tests/goldens/``; any silent change to results fails here.
+
+After an *intentional* behaviour change, refresh with::
+
+    PYTHONPATH=src python -m pytest tests/test_goldens.py --update-goldens
+
+and commit the rewritten ``tests/goldens/small_preset.json``.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.base import ExperimentConfig
+from repro.experiments.registry import run_experiment
+
+GOLDEN_PATH = Path(__file__).parent / "goldens" / "small_preset.json"
+EXPERIMENT_IDS = ("table1", "fig1a", "fig2a")
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _current_snapshot() -> dict:
+    config = ExperimentConfig()  # small preset, seed 2018, jobs=1, no cache
+    snapshot = {
+        "preset": config.preset,
+        "seed": config.seed,
+        "scenario_config_hash": config.scenario_config().content_hash(),
+        "experiments": {},
+    }
+    for experiment_id in EXPERIMENT_IDS:
+        result = run_experiment(experiment_id, config)
+        snapshot["experiments"][experiment_id] = {
+            "tables_sha256": _digest("\n\n".join(result.tables)),
+            "paper_vs_measured_sha256": _digest(
+                json.dumps([list(row) for row in result.paper_vs_measured])
+            ),
+        }
+    return snapshot
+
+
+@pytest.fixture(scope="module")
+def current_snapshot():
+    return _current_snapshot()
+
+
+def test_goldens_file_exists(update_goldens):
+    if update_goldens:
+        pytest.skip("--update-goldens: the file is (re)written this run")
+    assert GOLDEN_PATH.exists(), (
+        f"{GOLDEN_PATH} is missing; generate it with "
+        f"`python -m pytest tests/test_goldens.py --update-goldens`"
+    )
+
+
+def test_small_preset_outputs_match_goldens(current_snapshot, update_goldens):
+    if update_goldens:
+        GOLDEN_PATH.parent.mkdir(exist_ok=True)
+        GOLDEN_PATH.write_text(
+            json.dumps(current_snapshot, indent=2, sort_keys=True) + "\n"
+        )
+        pytest.skip(f"goldens rewritten at {GOLDEN_PATH}; commit the file")
+    golden = json.loads(GOLDEN_PATH.read_text())
+    mismatches = []
+    if golden["scenario_config_hash"] != current_snapshot["scenario_config_hash"]:
+        mismatches.append("scenario_config_hash (ScenarioConfig defaults changed)")
+    for experiment_id, expected in golden["experiments"].items():
+        got = current_snapshot["experiments"][experiment_id]
+        for key in expected:
+            if expected[key] != got[key]:
+                mismatches.append(f"{experiment_id}.{key}")
+    assert not mismatches, (
+        "experiment outputs drifted from the committed goldens: "
+        + ", ".join(mismatches)
+        + ". If this change is intentional, refresh with "
+        "`python -m pytest tests/test_goldens.py --update-goldens` "
+        "and commit tests/goldens/small_preset.json; otherwise a perf "
+        "or refactor change has silently altered results."
+    )
+
+
+def test_goldens_cover_all_pinned_experiments(update_goldens):
+    if update_goldens:
+        pytest.skip("--update-goldens: the file is (re)written this run")
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert sorted(golden["experiments"]) == sorted(EXPERIMENT_IDS)
+    for entry in golden["experiments"].values():
+        assert set(entry) == {"tables_sha256", "paper_vs_measured_sha256"}

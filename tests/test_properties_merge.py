@@ -1,0 +1,232 @@
+"""Property-based tests (hypothesis) of the two merge protocols.
+
+The parallel executor is only correct if merging per-chunk accumulators
+over *any* partition of the day range, in *any* order, reproduces the
+one-pass result. That law is asserted here for both protocols:
+
+* :meth:`repro.core.streaming.StreamingAnalyzer.merge` — commutative,
+  associative, and partition-invariant over randomized day partitions;
+* :meth:`repro.obs.MetricsRegistry.merge` — the same laws for counters,
+  histograms, and span stats (gauges merge by max, which is commutative
+  and associative but deliberately *not* partition-invariant against
+  sequential last-write-wins, so partitions only draw the other kinds).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.booter.market import MarketConfig
+from repro.core.pipeline import TrafficSelector
+from repro.core.streaming import StreamingAnalyzer
+from repro.netmodel.topology import TopologyConfig
+from repro.obs import MetricsRegistry
+from repro.scenario import Scenario, ScenarioConfig
+
+slow_settings = settings(
+    max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+SELECTORS = [
+    TrafficSelector("ntp_to", 123, "to_reflectors"),
+    TrafficSelector("ntp_from", 123, "from_reflectors"),
+]
+DAYS = list(range(40, 46))
+
+
+@pytest.fixture(scope="module")
+def observed_tables():
+    """One observed table per day, generated once for every example."""
+    scenario = Scenario(
+        ScenarioConfig(
+            scale=0.1,
+            topology=TopologyConfig(n_tier1=3, n_tier2=10, n_stub=60),
+            market=MarketConfig(daily_attacks=60.0, n_victims=300),
+            pool_sizes=(
+                ("ntp", 1500),
+                ("dns", 1000),
+                ("cldap", 400),
+                ("memcached", 200),
+                ("ssdp", 250),
+            ),
+        )
+    )
+    return {
+        day: scenario.observe_day("ixp", scenario.day_traffic(day)) for day in DAYS
+    }, scenario.config.n_days
+
+
+def _fresh(n_days: int) -> StreamingAnalyzer:
+    return StreamingAnalyzer(SELECTORS, n_days=n_days, sampling_factor=10_000.0)
+
+
+def _ingested(days, tables, n_days) -> StreamingAnalyzer:
+    analyzer = _fresh(n_days)
+    for day in days:
+        analyzer.ingest_day(day, tables[day])
+    return analyzer
+
+
+def _assert_analyzers_equal(a: StreamingAnalyzer, b: StreamingAnalyzer) -> None:
+    for name in ("ntp_to", "ntp_from"):
+        np.testing.assert_array_equal(a.daily_series(name), b.daily_series(name))
+    np.testing.assert_array_equal(a.hourly_attacks, b.hourly_attacks)
+    sa, sb = a.victim_stats(), b.victim_stats()
+    np.testing.assert_array_equal(sa.destinations, sb.destinations)
+    np.testing.assert_array_equal(sa.peak_bps, sb.peak_bps)
+    np.testing.assert_array_equal(sa.unique_sources_estimate, sb.unique_sources_estimate)
+    np.testing.assert_array_equal(sa.total_packets, sb.total_packets)
+
+
+@st.composite
+def day_partitions(draw):
+    """A shuffled partition of a random non-empty subset of DAYS."""
+    days = draw(
+        st.lists(st.sampled_from(DAYS), min_size=1, max_size=len(DAYS), unique=True)
+    )
+    n_groups = draw(st.integers(min_value=1, max_value=len(days)))
+    assignment = [draw(st.integers(min_value=0, max_value=n_groups - 1)) for _ in days]
+    groups = [[] for _ in range(n_groups)]
+    for day, group in zip(days, assignment):
+        groups[group].append(day)
+    return days, [g for g in groups if g]
+
+
+class TestStreamingAnalyzerMergeLaws:
+    @slow_settings
+    @given(partition=day_partitions())
+    def test_any_partition_merges_to_one_pass(self, observed_tables, partition):
+        tables, n_days = observed_tables
+        days, groups = partition
+        one_pass = _ingested(sorted(days), tables, n_days)
+        merged = _ingested(groups[0], tables, n_days)
+        for group in groups[1:]:
+            merged.merge(_ingested(group, tables, n_days))
+        _assert_analyzers_equal(one_pass, merged)
+
+    @slow_settings
+    @given(split=st.integers(min_value=1, max_value=len(DAYS) - 1))
+    def test_merge_commutes(self, observed_tables, split):
+        tables, n_days = observed_tables
+        left_days, right_days = DAYS[:split], DAYS[split:]
+        ab = _ingested(left_days, tables, n_days).merge(
+            _ingested(right_days, tables, n_days)
+        )
+        ba = _ingested(right_days, tables, n_days).merge(
+            _ingested(left_days, tables, n_days)
+        )
+        _assert_analyzers_equal(ab, ba)
+
+    @slow_settings
+    @given(
+        cuts=st.tuples(
+            st.integers(min_value=1, max_value=len(DAYS) - 2),
+            st.integers(min_value=1, max_value=len(DAYS) - 2),
+        )
+    )
+    def test_merge_associates(self, observed_tables, cuts):
+        tables, n_days = observed_tables
+        first = min(cuts)
+        second = max(cuts) + 1
+        parts = [DAYS[:first], DAYS[first:second], DAYS[second:]]
+        parts = [p for p in parts if p]
+
+        def build(i):
+            return _ingested(parts[i], tables, n_days)
+
+        if len(parts) < 3:
+            left = build(0).merge(build(1))
+            right = build(0).merge(build(1))
+        else:
+            left = build(0).merge(build(1)).merge(build(2))
+            right = build(0).merge(build(1).merge(build(2)))
+        _assert_analyzers_equal(left, right)
+
+
+# -- MetricsRegistry ----------------------------------------------------------
+
+_NAMES = ("alpha", "beta", "gamma")
+_BUCKETS = (1.0, 10.0, float("inf"))
+
+counter_ops = st.tuples(
+    st.just("inc"), st.sampled_from(_NAMES), st.integers(min_value=0, max_value=1000)
+)
+histogram_ops = st.tuples(
+    st.just("observe"), st.sampled_from(_NAMES), st.integers(min_value=0, max_value=20)
+)
+span_ops = st.tuples(
+    st.just("span"), st.sampled_from(_NAMES), st.just(0)
+)
+partition_safe_ops = st.lists(
+    st.one_of(counter_ops, histogram_ops, span_ops), max_size=40
+)
+gauge_ops = st.tuples(
+    st.just("gauge"), st.sampled_from(_NAMES), st.integers(min_value=0, max_value=1000)
+)
+all_ops = st.lists(
+    st.one_of(counter_ops, histogram_ops, span_ops, gauge_ops), max_size=40
+)
+
+
+def _apply(ops) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    for kind, name, value in ops:
+        if kind == "inc":
+            registry.inc(name, value)
+        elif kind == "observe":
+            registry.observe(name, value, buckets=_BUCKETS)
+        elif kind == "gauge":
+            registry.gauge(name, value)
+        else:
+            with registry.span(name):
+                pass
+    return registry
+
+
+def _comparable(registry: MetricsRegistry) -> dict:
+    """to_dict with span timings dropped (wall time is never mergeable)."""
+    payload = registry.to_dict()
+    for span in payload["spans"]:
+        del span["total_s"]
+    return payload
+
+
+class TestMetricsRegistryMergeLaws:
+    @settings(max_examples=50, deadline=None)
+    @given(ops_a=all_ops, ops_b=all_ops)
+    def test_merge_commutes(self, ops_a, ops_b):
+        ab = _apply(ops_a).merge(_apply(ops_b))
+        ba = _apply(ops_b).merge(_apply(ops_a))
+        assert _comparable(ab) == _comparable(ba)
+
+    @settings(max_examples=50, deadline=None)
+    @given(ops_a=all_ops, ops_b=all_ops, ops_c=all_ops)
+    def test_merge_associates(self, ops_a, ops_b, ops_c):
+        left = _apply(ops_a).merge(_apply(ops_b)).merge(_apply(ops_c))
+        right = _apply(ops_a).merge(_apply(ops_b).merge(_apply(ops_c)))
+        assert _comparable(left) == _comparable(right)
+
+    @settings(max_examples=50, deadline=None)
+    @given(ops=all_ops)
+    def test_empty_registry_is_identity(self, ops):
+        one = _apply(ops)
+        merged = MetricsRegistry().merge(_apply(ops))
+        assert _comparable(merged) == _comparable(one)
+        absorbed = _apply(ops).merge(MetricsRegistry())
+        assert _comparable(absorbed) == _comparable(one)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        ops=partition_safe_ops,
+        assignment=st.lists(st.integers(min_value=0, max_value=3), max_size=40),
+    )
+    def test_any_partition_merges_to_one_pass(self, ops, assignment):
+        one_pass = _apply(ops)
+        groups = [[] for _ in range(4)]
+        for i, op in enumerate(ops):
+            groups[assignment[i] if i < len(assignment) else 0].append(op)
+        merged = MetricsRegistry()
+        for group in groups:
+            merged.merge(_apply(group))
+        assert _comparable(merged) == _comparable(one_pass)
