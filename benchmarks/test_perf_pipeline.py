@@ -10,6 +10,7 @@ the substrate changes.
 import json
 import os
 import time
+from datetime import datetime, timezone
 from pathlib import Path
 
 import numpy as np
@@ -96,11 +97,14 @@ def test_perf_streaming_ingest(benchmark, scenario, day_traffic):
 def test_perf_parallel_collect(scenario):
     """jobs=1 vs jobs=2 day collection: bit-identical, and timed.
 
-    Emits ``benchmarks/BENCH_parallel.json`` with both wall-clock times
-    and the speedup. The speedup assertion only applies with >= 2 CPU
-    cores: on a single-core machine a process pool cannot beat the
-    serial loop (it adds fork + pickle overhead), so the run records
-    the numbers and the parity check instead.
+    Appends one entry to ``benchmarks/BENCH_parallel.json`` (a JSON list,
+    oldest first) with both wall-clock times and the speedup, so the
+    perf trajectory accumulates run over run instead of overwriting —
+    the raw material for spotting regressions across PRs. The speedup
+    assertion only applies with >= 2 CPU cores: on a single-core machine
+    a process pool cannot beat the serial loop (it adds fork + pickle
+    overhead), so the run records the numbers and the parity check
+    instead.
     """
     from repro.core.pipeline import TrafficSelector, collect_daily_port_series
 
@@ -128,6 +132,7 @@ def test_perf_parallel_collect(scenario):
     speedup = jobs1_s / jobs2_s if jobs2_s > 0 else float("inf")
     payload = {
         "benchmark": "parallel_collect_daily_port_series",
+        "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "day_range": list(day_range),
         "cpu_count": cores,
         "jobs1_s": round(jobs1_s, 4),
@@ -136,7 +141,13 @@ def test_perf_parallel_collect(scenario):
         "bit_identical": True,
     }
     out = Path(__file__).parent / "BENCH_parallel.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    history = []
+    if out.exists():
+        previous = json.loads(out.read_text())
+        # Pre-history files held a single dict; fold it in as entry 0.
+        history = previous if isinstance(previous, list) else [previous]
+    history.append(payload)
+    out.write_text(json.dumps(history, indent=2) + "\n")
     print(f"\nparallel collect: jobs=1 {jobs1_s:.2f}s, jobs=2 {jobs2_s:.2f}s, "
           f"speedup {speedup:.2f}x on {cores} core(s)")
     if cores >= 2:

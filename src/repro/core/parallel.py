@@ -39,7 +39,7 @@ import numpy as np
 
 from repro.booter.takedown import TakedownScenario
 from repro.flows.records import FlowTable, SCHEMA
-from repro.obs import MetricsRegistry, metrics, set_metrics
+from repro.obs import MetricsRegistry, TraceRecorder, metrics, set_metrics
 from repro.scenario.config import ScenarioConfig
 from repro.scenario.scenario import Scenario
 
@@ -159,15 +159,19 @@ def resolve_jobs(jobs: int | None) -> int:
     return jobs
 
 
-def _metered_call(fn: Callable[[Any], Any], item: Any) -> tuple[Any, MetricsRegistry]:
+def _metered_call(
+    fn: Callable[[Any], Any], item: Any, trace: bool = False
+) -> tuple[Any, MetricsRegistry]:
     """Run one pool task under a fresh worker registry and ship it back.
 
     Installed by :func:`_pool_map` when the parent's registry is
     enabled. The fresh registry shadows whatever the worker inherited
     (under fork, the parent's already-populated registry), so nothing
-    is double counted; the parent folds the returned registry in.
+    is double counted; the parent folds the returned registry in. With
+    ``trace`` the worker also buffers span events (pid-stamped), which
+    merge back into the parent's recorder exactly like the metrics.
     """
-    registry = MetricsRegistry(enabled=True)
+    registry = MetricsRegistry(enabled=True, trace=TraceRecorder() if trace else None)
     previous = set_metrics(registry)
     start = time.perf_counter()
     try:
@@ -212,8 +216,9 @@ def _pool_map_with_deltas(
         with ProcessPoolExecutor(max_workers=workers) as pool:
             return [(result, None) for result in pool.map(fn, items)]
     start = time.perf_counter()
+    task = partial(_metered_call, fn, trace=registry.trace is not None)
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        raw = list(pool.map(partial(_metered_call, fn), items))
+        raw = list(pool.map(task, items))
     wall = time.perf_counter() - start
     registry.inc("pool.tasks", len(items))
     registry.inc("pool.wall_s", wall)

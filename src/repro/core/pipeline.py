@@ -113,7 +113,10 @@ def collect_daily_port_series(
     days = np.arange(start, end)
     out = {s.name: np.zeros(days.size) for s in selectors}
 
-    with metrics().span("pipeline.collect_daily_port_series"):
+    with metrics().span(
+        "pipeline.collect_daily_port_series",
+        trace_args={"vantage": vantage, "day_start": int(start), "day_end": int(end)},
+    ):
         metrics().inc("pipeline.days_processed", int(days.size))
         if jobs != 1 or cache:
             from repro.core.parallel import daily_port_counts, observed_days, resolve_jobs
@@ -183,7 +186,10 @@ def collect_streaming(
     start, end = day_range if day_range is not None else (0, scenario.config.n_days)
     if end <= start:
         raise ValueError("empty day range")
-    with metrics().span("pipeline.collect_streaming"):
+    with metrics().span(
+        "pipeline.collect_streaming",
+        trace_args={"vantage": vantage, "day_start": int(start), "day_end": int(end)},
+    ):
         metrics().inc("pipeline.days_processed", end - start)
         if jobs != 1 or cache:
             from repro.core.parallel import streaming_ingest

@@ -8,6 +8,8 @@ and measure how accuracy and coverage decay — quantifying the paper's
 
 from __future__ import annotations
 
+import logging
+
 from repro.core.attribution import BooterFingerprint, ReflectorAttributor
 from repro.experiments.base import (
     ExperimentConfig,
@@ -18,6 +20,8 @@ from repro.experiments.base import (
 from repro.experiments.campaign import SelfAttackCampaign
 
 __all__ = ["run"]
+
+_log = logging.getLogger(__name__)
 
 _BOOTERS = ("A", "B", "C", "D")
 _AGES = (0, 7, 30, 90)
@@ -36,6 +40,11 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         for booter, process in processes.items()
     ]
     attributor = ReflectorAttributor(fingerprints, min_score=0.2)
+    _log.debug(
+        "enrolled %d day-0 fingerprints: %s",
+        len(fingerprints),
+        ", ".join(f"{f.booter}({f.reflector_ips.size} reflectors)" for f in fingerprints),
+    )
 
     rows = []
     decay = {}

@@ -9,20 +9,43 @@ Usage::
     repro-experiments fig4 fig5 --no-cache # disable the day-result cache
     repro-experiments all --jobs 2 --metrics-out metrics.json
     repro-experiments fig4 --profile       # per-stage profile table only
+    repro-experiments fig4 --jobs 4 --trace-out trace.json   # Perfetto
+    repro-experiments all --ledger runs.jsonl                # provenance
+
+Observability flags compose: ``--trace-out`` writes a Chrome trace-event
+JSON of every span (one track per worker process), ``--ledger`` appends
+one ``repro.obs.run/1`` provenance record (config hash, seed, strategy,
+wall times, deterministic counter digest, artifact digests) to a JSONL
+ledger, and ``repro-obs diff`` classifies drift between any two runs.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 import time
 
 from repro.core.parallel import day_cache
 from repro.experiments.base import ExperimentConfig
 from repro.experiments.registry import EXPERIMENTS, run_experiment
-from repro.obs import MetricsRegistry, export_metrics, render_profile, set_metrics
+from repro.logutil import LOG_LEVELS, configure_cli_logging
+from repro.obs import (
+    MetricsRegistry,
+    TraceRecorder,
+    append_run_record,
+    build_run_record,
+    export_metrics,
+    render_profile,
+    set_metrics,
+    write_chrome_trace,
+)
 
 __all__ = ["main"]
+
+# Explicit name: __name__ is "__main__" under ``python -m``, which would
+# fall outside the "repro" hierarchy configure_cli_logging sets up.
+_log = logging.getLogger("repro.experiments.runner")
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -58,11 +81,32 @@ def _parser() -> argparse.ArgumentParser:
         "(stable schema repro.obs.export/1); implies --profile",
     )
     parser.add_argument(
+        "--trace-out",
+        dest="trace_out",
+        metavar="PATH",
+        help="record per-span events and write Chrome trace-event JSON to "
+        "PATH (open in Perfetto / chrome://tracing; one track per "
+        "worker process under --jobs N)",
+    )
+    parser.add_argument(
+        "--ledger",
+        metavar="PATH",
+        help="append one repro.obs.run/1 provenance record for this run "
+        "(config hash, strategy, wall times, deterministic counter "
+        "digest, artifact digests) to the JSONL ledger at PATH",
+    )
+    parser.add_argument(
         "--profile",
         action=argparse.BooleanOptionalAction,
         default=False,
         help="print a per-experiment profile table (stage, calls, "
         "total/mean ms, cache hit rate, pool utilization)",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default="info",
+        help="stderr logging verbosity for run status (default: info)",
     )
     parser.add_argument(
         "--output",
@@ -74,10 +118,11 @@ def _parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point: run the requested experiments, print their reports."""
     args = _parser().parse_args(argv)
+    configure_cli_logging(args.log_level)
     ids = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
     unknown = [i for i in ids if i not in EXPERIMENTS]
     if unknown:
-        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        _log.error("unknown experiments: %s", ", ".join(unknown))
         return 2
     config = ExperimentConfig(
         preset=args.preset,
@@ -86,27 +131,40 @@ def main(argv: list[str] | None = None) -> int:
         cache=args.cache,
         metrics_out=args.metrics_out,
     )
-    record = bool(args.metrics_out) or args.profile
+    # Tracing and the ledger both need the registry recording; profile
+    # tables print only when explicitly asked for (or exported).
+    record = bool(args.metrics_out or args.profile or args.trace_out or args.ledger)
+    show_profile = bool(args.metrics_out) or args.profile
     total_registry = MetricsRegistry(enabled=record)
     per_experiment: dict[str, MetricsRegistry] = {}
+    experiment_wall_s: dict[str, float] = {}
     results = []
+    run_start = time.perf_counter()
     for experiment_id in ids:
         before = day_cache().stats()
-        registry = MetricsRegistry(enabled=record)
+        registry = MetricsRegistry(
+            enabled=record, trace=TraceRecorder() if args.trace_out else None
+        )
         previous = set_metrics(registry)
         start = time.perf_counter()
         try:
-            result = run_experiment(experiment_id, config)
+            with registry.span(
+                f"experiment.{experiment_id}", trace_args={"experiment": experiment_id}
+            ):
+                result = run_experiment(experiment_id, config)
         finally:
             set_metrics(previous)
         elapsed = time.perf_counter() - start
+        experiment_wall_s[experiment_id] = elapsed
         results.append(result)
         print(result.render())
         if record:
             per_experiment[experiment_id] = registry
             total_registry.merge(registry)
+        if show_profile:
             print()
             print(render_profile(registry, title=f"--- {experiment_id} profile ---"))
+            print()
         status = f"[{experiment_id} completed in {elapsed:.1f}s"
         if args.cache:
             after = day_cache().stats()
@@ -115,29 +173,59 @@ def main(argv: list[str] | None = None) -> int:
                 f" / +{after['misses'] - before['misses']} misses"
                 f", {after['entries']} entries"
             )
-        print(f"\n{status}]\n")
-    if record:
+        _log.info("%s]", status)
+    wall_s = time.perf_counter() - run_start
+    if show_profile:
         print(render_profile(total_registry, title="=== run profile (all experiments) ==="))
         print()
+    artifacts: dict[str, str] = {}
+    run_info = {
+        "preset": args.preset,
+        "seed": args.seed,
+        "jobs": args.jobs,
+        "cache": args.cache,
+        "experiments": ids,
+        "wall_s": round(wall_s, 4),
+    }
     if args.metrics_out:
-        path = export_metrics(
-            per_experiment,
-            total_registry,
-            args.metrics_out,
-            run_info={
-                "preset": args.preset,
-                "seed": args.seed,
-                "jobs": args.jobs,
-                "cache": args.cache,
-                "experiments": ids,
-            },
+        path = export_metrics(per_experiment, total_registry, args.metrics_out, run_info=run_info)
+        artifacts["metrics"] = str(path)
+        _log.info("metrics written to %s", path)
+    if args.trace_out:
+        recorder = total_registry.trace or TraceRecorder()
+        path = write_chrome_trace(recorder, args.trace_out, run_info=run_info)
+        artifacts["trace"] = str(path)
+        _log.info(
+            "trace written to %s (%d events from %d process(es))",
+            path,
+            len(recorder),
+            len(recorder.pids()) or 1,
         )
-        print(f"metrics written to {path}")
     if args.output:
         from repro.experiments.report import write_report
 
         path = write_report(results, args.output)
-        print(f"report written to {path}")
+        artifacts["report"] = str(path)
+        _log.info("report written to %s", path)
+    if args.ledger:
+        record_entry = build_run_record(
+            config_hash=config.scenario_config().content_hash(),
+            seed=args.seed,
+            preset=args.preset,
+            jobs=args.jobs,
+            cache=args.cache,
+            experiments=ids,
+            counters=total_registry.counters,
+            wall_s=wall_s,
+            experiment_wall_s=experiment_wall_s,
+            artifacts=artifacts,
+        )
+        path = append_run_record(args.ledger, record_entry)
+        _log.info(
+            "run record appended to %s (counter digest %s...)",
+            path,
+            record_entry["counter_digest"][:16],
+        )
     return 0
 
 

@@ -1,0 +1,42 @@
+"""Logging conventions for the package and its command-line tools.
+
+Library modules log through ``logging.getLogger(__name__)`` and never
+configure handlers, so embedding applications keep full control and the
+effective default stays at the root WARNING level. The CLIs
+(``repro-experiments``, ``repro-tracegen``, ``repro-obs``) call
+:func:`configure_cli_logging` once per invocation to route the ``repro``
+logger hierarchy to stderr at the requested level — reconfiguring on
+every call (handlers are replaced, not stacked) so repeated in-process
+invocations, as in the test suite, never duplicate output or hold a
+stale stream.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["LOG_LEVELS", "configure_cli_logging"]
+
+#: ``--log-level`` choices accepted by the CLIs.
+LOG_LEVELS: tuple[str, ...] = ("debug", "info", "warning", "error")
+
+
+def configure_cli_logging(level: str = "info") -> logging.Logger:
+    """Point the ``repro`` logger hierarchy at stderr for one CLI run.
+
+    Messages go to the *current* ``sys.stderr`` bare (no level/name
+    prefix): status lines are user-facing CLI output, kept off stdout so
+    result tables and reports stay pipeable.
+    """
+    if level not in LOG_LEVELS:
+        raise ValueError(f"unknown log level {level!r} (choose from {LOG_LEVELS})")
+    logger = logging.getLogger("repro")
+    logger.setLevel(getattr(logging, level.upper()))
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger

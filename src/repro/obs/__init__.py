@@ -1,4 +1,4 @@
-"""Observability: metrics registry, span timers, profile rendering.
+"""Observability: metrics registry, span timers, tracing, provenance.
 
 Lightweight and dependency-free. Library code records unconditionally
 into the active registry (:func:`metrics`), which is a disabled no-op
@@ -9,6 +9,15 @@ task results and fold into the parent via
 :meth:`MetricsRegistry.merge` — the same reduction shape as
 ``StreamingAnalyzer.merge()``, so ``jobs=1`` and ``jobs=N`` runs agree
 on every deterministic counter.
+
+On top of the registry sit three run-comparison layers (PR 3):
+
+* :mod:`repro.obs.trace` — per-span event buffers exported as Chrome
+  trace-event JSON (``repro-experiments --trace-out``);
+* :mod:`repro.obs.runledger` — an append-only JSONL provenance ledger,
+  one ``repro.obs.run/1`` record per runner invocation (``--ledger``);
+* :mod:`repro.obs.cli` — the ``repro-obs`` tool that diffs two runs and
+  classifies drift as logic change vs perf regression.
 """
 
 from repro.obs.metrics import (
@@ -21,22 +30,54 @@ from repro.obs.metrics import (
     use_metrics,
 )
 from repro.obs.profile import (
+    EXPORT_SCHEMA,
     cache_hit_rate,
     export_metrics,
+    load_export,
     pool_utilization,
+    registry_from_dict,
     render_profile,
+)
+from repro.obs.runledger import (
+    RUN_SCHEMA,
+    append_run_record,
+    artifact_digest,
+    build_run_record,
+    counter_digest,
+    deterministic_counters,
+    read_ledger,
+)
+from repro.obs.trace import (
+    TRACE_SCHEMA,
+    TraceRecorder,
+    chrome_trace_events,
+    write_chrome_trace,
 )
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "EXPORT_SCHEMA",
+    "RUN_SCHEMA",
+    "TRACE_SCHEMA",
     "Histogram",
     "MetricsRegistry",
     "SpanStats",
+    "TraceRecorder",
+    "append_run_record",
+    "artifact_digest",
+    "build_run_record",
+    "cache_hit_rate",
+    "chrome_trace_events",
+    "counter_digest",
+    "deterministic_counters",
+    "export_metrics",
+    "load_export",
     "metrics",
+    "pool_utilization",
+    "read_ledger",
+    "registry_from_dict",
+    "render_profile",
     "set_metrics",
     "use_metrics",
-    "cache_hit_rate",
-    "export_metrics",
-    "pool_utilization",
-    "render_profile",
+    "write_chrome_trace",
 ]

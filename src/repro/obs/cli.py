@@ -1,0 +1,241 @@
+"""``repro-obs``: offline inspection and drift diffing of recorded runs.
+
+Two subcommands over the observability artifacts the runner writes:
+
+* ``repro-obs show EXPORT`` — re-render the per-experiment and run-total
+  profile tables from a ``--metrics-out`` JSON export, offline;
+* ``repro-obs diff A B`` — compare two runs (metrics exports or run-ledger
+  JSONL files, freely mixed) and classify the drift:
+
+  - deterministic ``scenario.*``/``streaming.*``/``pipeline.*`` counters
+    differ → **logic change**, exit code 2;
+  - counters identical but wall time moved beyond ``--time-threshold``
+    (relative, default 25%) → **perf regression**, exit code 3;
+  - otherwise clean, exit code 0.
+
+  ``--logic-only`` skips the timing comparison — required when the two
+  runs come from different machines (e.g. a committed CI baseline),
+  where absolute wall time is meaningless.
+
+Exit code 1 reports unreadable/invalid input files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import logging
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.profile import EXPORT_SCHEMA, load_export, registry_from_dict, render_profile
+from repro.obs.runledger import (
+    RUN_SCHEMA,
+    counter_digest,
+    deterministic_counters,
+    read_ledger,
+)
+
+__all__ = ["main", "load_run_snapshot", "RunSnapshot"]
+
+# Explicit name: __name__ is "__main__" under ``python -m``, which would
+# fall outside the "repro" hierarchy configure_cli_logging sets up.
+_log = logging.getLogger("repro.obs.cli")
+
+#: ``repro-obs diff`` exit codes, by classification.
+EXIT_CLEAN = 0
+EXIT_ERROR = 1
+EXIT_LOGIC_DRIFT = 2
+EXIT_PERF_REGRESSION = 3
+
+
+@dataclass
+class RunSnapshot:
+    """One run, normalized for diffing from either artifact format."""
+
+    label: str
+    kind: str  # "export" | "ledger"
+    counters: dict[str, float]
+    wall_s: float | None = None
+    experiment_wall_s: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def digest(self) -> str:
+        return counter_digest(self.counters)
+
+
+def load_run_snapshot(path: str | Path, index: int = -1) -> RunSnapshot:
+    """Load a metrics export or run-ledger file as a :class:`RunSnapshot`.
+
+    The format is detected from the file's ``schema`` field; for JSONL
+    ledgers, ``index`` selects the record (default: the newest).
+    """
+    source = Path(path)
+    try:
+        payload = json.loads(source.read_text())
+    except json.JSONDecodeError:
+        payload = None  # multi-line JSONL ledger; handled below
+    except OSError as exc:
+        raise ValueError(f"cannot read {source}: {exc}") from None
+
+    if isinstance(payload, dict) and payload.get("schema") == EXPORT_SCHEMA:
+        export = load_export(source)
+        run = export.get("run", {})
+        wall = run.get("wall_s")
+        return RunSnapshot(
+            label=str(source),
+            kind="export",
+            counters=deterministic_counters(export["total"].get("counters", {})),
+            wall_s=float(wall) if wall is not None else None,
+        )
+    if payload is None or (isinstance(payload, dict) and payload.get("schema") == RUN_SCHEMA):
+        records = read_ledger(source)
+        try:
+            record = records[index]
+        except IndexError:
+            raise ValueError(
+                f"{source}: ledger has {len(records)} record(s); index {index} "
+                f"is out of range"
+            ) from None
+        return RunSnapshot(
+            label=f"{source}[{index if index >= 0 else len(records) + index}]",
+            kind="ledger",
+            counters=deterministic_counters(record.get("counters", {})),
+            wall_s=record.get("wall_s"),
+            experiment_wall_s=dict(record.get("experiment_wall_s", {})),
+        )
+    schema = payload.get("schema") if isinstance(payload, dict) else None
+    raise ValueError(
+        f"{source}: unrecognized schema {schema!r} (expected {EXPORT_SCHEMA!r} "
+        f"or {RUN_SCHEMA!r})"
+    )
+
+
+def _diff_counters(a: RunSnapshot, b: RunSnapshot) -> list[str]:
+    """Human-readable lines for every deterministic counter mismatch."""
+    lines = []
+    for name in sorted(set(a.counters) | set(b.counters)):
+        left, right = a.counters.get(name), b.counters.get(name)
+        if left != right:
+            fmt = lambda v: "(absent)" if v is None else f"{v:g}"
+            lines.append(f"  {name}: {fmt(left)} -> {fmt(right)}")
+    return lines
+
+
+def _diff(args: argparse.Namespace) -> int:
+    a = load_run_snapshot(args.a, index=args.index_a)
+    b = load_run_snapshot(args.b, index=args.index_b)
+
+    if a.digest != b.digest:
+        print(f"LOGIC DRIFT between {a.label} and {b.label}")
+        print(f"  counter digest {a.digest[:16]}... -> {b.digest[:16]}...")
+        for line in _diff_counters(a, b):
+            print(line)
+        print(
+            "deterministic counters are strategy-independent: this difference "
+            "comes from a code or config change, not from --jobs/--cache/timing."
+        )
+        return EXIT_LOGIC_DRIFT
+
+    print(f"deterministic counters identical ({len(a.counters)} counters, "
+          f"digest {a.digest[:16]}...)")
+
+    if args.logic_only:
+        print("timing comparison skipped (--logic-only)")
+        return EXIT_CLEAN
+    if a.wall_s is None or b.wall_s is None:
+        missing = a.label if a.wall_s is None else b.label
+        print(f"timing comparison skipped: no wall_s recorded in {missing}")
+        return EXIT_CLEAN
+    if a.wall_s <= 0:
+        print(f"timing comparison skipped: non-positive baseline wall time in {a.label}")
+        return EXIT_CLEAN
+
+    relative = (b.wall_s - a.wall_s) / a.wall_s
+    print(f"wall time {a.wall_s:.2f}s -> {b.wall_s:.2f}s ({relative:+.1%}, "
+          f"threshold ±{args.time_threshold:.0%})")
+    shared = set(a.experiment_wall_s) & set(b.experiment_wall_s)
+    for name in sorted(shared):
+        left, right = a.experiment_wall_s[name], b.experiment_wall_s[name]
+        delta = (right - left) / left if left > 0 else float("inf")
+        print(f"  {name}: {left:.2f}s -> {right:.2f}s ({delta:+.1%})")
+    if abs(relative) > args.time_threshold:
+        direction = "PERF REGRESSION" if relative > 0 else "PERF SHIFT (faster)"
+        print(f"{direction}: same logic, wall time moved {relative:+.1%} "
+              f"(beyond ±{args.time_threshold:.0%})")
+        return EXIT_PERF_REGRESSION
+    print("clean: same logic, timing within threshold")
+    return EXIT_CLEAN
+
+
+def _show(args: argparse.Namespace) -> int:
+    export = load_export(args.export)
+    run = export.get("run", {})
+    if run:
+        pairs = ", ".join(f"{k}={run[k]}" for k in sorted(run))
+        print(f"run: {pairs}")
+        print()
+    for experiment_id, payload in sorted(export.get("experiments", {}).items()):
+        print(render_profile(registry_from_dict(payload), title=f"--- {experiment_id} profile ---"))
+        print()
+    print(render_profile(registry_from_dict(export["total"]), title="=== run profile (all experiments) ==="))
+    return EXIT_CLEAN
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Inspect and diff recorded runs (metrics exports / run ledgers).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    diff = sub.add_parser(
+        "diff",
+        help="classify drift between two runs (exit 0 clean / 2 logic / 3 perf)",
+    )
+    diff.add_argument("a", help="baseline: metrics export JSON or run-ledger JSONL")
+    diff.add_argument("b", help="candidate: metrics export JSON or run-ledger JSONL")
+    diff.add_argument(
+        "--time-threshold",
+        type=float,
+        default=0.25,
+        help="relative wall-time change tolerated before flagging a perf "
+        "regression (default 0.25 = 25%%)",
+    )
+    diff.add_argument(
+        "--logic-only",
+        action="store_true",
+        help="compare deterministic counters only (use across machines, "
+        "e.g. against a committed CI baseline)",
+    )
+    diff.add_argument(
+        "--index-a", type=int, default=-1,
+        help="ledger record index for A (default -1 = newest)",
+    )
+    diff.add_argument(
+        "--index-b", type=int, default=-1,
+        help="ledger record index for B (default -1 = newest)",
+    )
+    diff.set_defaults(func=_diff)
+
+    show = sub.add_parser(
+        "show", help="re-render the profile tables of a --metrics-out export"
+    )
+    show.add_argument("export", help="metrics export JSON (repro.obs.export/1)")
+    show.set_defaults(func=_show)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the classification exit code."""
+    args = _parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ValueError as exc:
+        _log.error("%s", exc)
+        return EXIT_ERROR
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -35,6 +35,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
+from repro.obs.trace import TraceRecorder
+
 __all__ = [
     "DEFAULT_BUCKETS",
     "Histogram",
@@ -150,11 +152,17 @@ _NULL_SPAN = _NullSpan()
 class _Span:
     """Live span: pushes its name on the registry stack while active."""
 
-    __slots__ = ("_registry", "_name", "_path", "_start")
+    __slots__ = ("_registry", "_name", "_path", "_start", "_trace_args")
 
-    def __init__(self, registry: "MetricsRegistry", name: str) -> None:
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        trace_args: dict[str, Any] | None = None,
+    ) -> None:
         self._registry = registry
         self._name = name
+        self._trace_args = trace_args
 
     def __enter__(self) -> "_Span":
         stack = self._registry._span_stack
@@ -172,6 +180,8 @@ class _Span:
             node = registry.spans[self._path] = SpanStats()
         node.calls += 1
         node.total_s += elapsed
+        if registry.trace is not None:
+            registry.trace.record(self._name, self._start, elapsed, self._trace_args)
 
 
 class MetricsRegistry:
@@ -181,10 +191,16 @@ class MetricsRegistry:
     pickle cleanly (the transient span stack is dropped), which is how
     worker processes ship their metrics back to the parent for
     :meth:`merge`.
+
+    Attaching a :class:`~repro.obs.trace.TraceRecorder` as ``trace``
+    additionally turns every completed span into one trace event
+    (name, wall-clock offset, duration, pid/tid, span args); recorders
+    ship back from workers and merge exactly like the metrics.
     """
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(self, enabled: bool = True, trace: TraceRecorder | None = None) -> None:
         self.enabled = enabled
+        self.trace = trace
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
         self.histograms: dict[str, Histogram] = {}
@@ -214,11 +230,16 @@ class MetricsRegistry:
             histogram = self.histograms[name] = Histogram(buckets=buckets)
         histogram.observe(value)
 
-    def span(self, name: str):
-        """Context-manager timer; nested spans form a call-tree profile."""
+    def span(self, name: str, trace_args: dict[str, Any] | None = None):
+        """Context-manager timer; nested spans form a call-tree profile.
+
+        ``trace_args`` ride along on the trace event when a recorder is
+        attached (e.g. the scenario day or experiment id); they never
+        affect the aggregated span statistics.
+        """
         if not self.enabled:
             return _NULL_SPAN
-        return _Span(self, name)
+        return _Span(self, name, trace_args)
 
     # -- merge protocol -----------------------------------------------------
 
@@ -252,6 +273,10 @@ class MetricsRegistry:
                 self.spans[path] = SpanStats(calls=node.calls, total_s=node.total_s)
             else:
                 mine_node.merge(node)
+        if other.trace is not None and (other.trace.events or other.trace.dropped):
+            if self.trace is None:
+                self.trace = TraceRecorder(max_events=other.trace.max_events)
+            self.trace.merge(other.trace)
         return self
 
     # -- inspection / export ------------------------------------------------
@@ -267,6 +292,9 @@ class MetricsRegistry:
         self.histograms.clear()
         self.spans.clear()
         self._span_stack.clear()
+        if self.trace is not None:
+            self.trace.events.clear()
+            self.trace.dropped = 0
 
     def to_dict(self) -> dict[str, Any]:
         """Stable, JSON-serializable schema of everything recorded.

@@ -12,14 +12,20 @@ import json
 from pathlib import Path
 from typing import Any
 
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import Histogram, MetricsRegistry, SpanStats
 
 __all__ = [
+    "EXPORT_SCHEMA",
     "cache_hit_rate",
     "pool_utilization",
     "render_profile",
     "export_metrics",
+    "load_export",
+    "registry_from_dict",
 ]
+
+#: Schema tag of the ``--metrics-out`` file format.
+EXPORT_SCHEMA = "repro.obs.export/1"
 
 
 def cache_hit_rate(registry: MetricsRegistry) -> float | None:
@@ -109,7 +115,7 @@ def export_metrics(
     so downstream tooling can detect format changes.
     """
     payload = {
-        "schema": "repro.obs.export/1",
+        "schema": EXPORT_SCHEMA,
         "run": dict(run_info or {}),
         "experiments": {
             experiment_id: registry.to_dict()
@@ -120,3 +126,60 @@ def export_metrics(
     out = Path(path)
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return out
+
+
+def load_export(path: str | Path) -> dict[str, Any]:
+    """Read and schema-validate a ``--metrics-out`` export file.
+
+    Rejects files whose ``schema`` field is missing or not
+    :data:`EXPORT_SCHEMA`, naming the file and the version found, so
+    tooling (``repro-obs``) fails with a diagnosis instead of a
+    ``KeyError`` deep in a diff.
+    """
+    source = Path(path)
+    try:
+        payload = json.loads(source.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{source}: not valid JSON: {exc}") from None
+    schema = payload.get("schema") if isinstance(payload, dict) else None
+    if schema != EXPORT_SCHEMA:
+        raise ValueError(
+            f"{source}: unsupported metrics-export schema {schema!r} "
+            f"(expected {EXPORT_SCHEMA!r}); refresh the file with "
+            f"repro-experiments --metrics-out"
+        )
+    missing = {"run", "experiments", "total"} - set(payload)
+    if missing:
+        raise ValueError(
+            f"{source}: metrics export is missing sections: {', '.join(sorted(missing))}"
+        )
+    return payload
+
+
+def registry_from_dict(payload: dict[str, Any]) -> MetricsRegistry:
+    """Rebuild a :class:`MetricsRegistry` from ``MetricsRegistry.to_dict``.
+
+    The inverse of the export serialization, so ``repro-obs show`` can
+    re-render profile tables offline from a ``--metrics-out`` file.
+    """
+    schema = payload.get("schema")
+    if schema != "repro.obs.metrics/1":
+        raise ValueError(
+            f"unsupported registry schema {schema!r} (expected 'repro.obs.metrics/1')"
+        )
+    registry = MetricsRegistry()
+    registry.counters = {k: float(v) for k, v in payload.get("counters", {}).items()}
+    registry.gauges = {k: float(v) for k, v in payload.get("gauges", {}).items()}
+    for name, data in payload.get("histograms", {}).items():
+        registry.histograms[name] = Histogram(
+            buckets=tuple(float("inf") if b == "inf" else float(b) for b in data["buckets"]),
+            counts=[int(n) for n in data["counts"]],
+            count=int(data["count"]),
+            total=float(data["total"]),
+        )
+    for row in payload.get("spans", []):
+        path_key = tuple(row["stage"].split("/"))
+        registry.spans[path_key] = SpanStats(
+            calls=int(row["calls"]), total_s=float(row["total_s"])
+        )
+    return registry

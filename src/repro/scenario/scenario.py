@@ -202,7 +202,9 @@ class Scenario:
             return self._day_cache[key]
 
         registry = metrics()
-        with registry.span("scenario.day_traffic"):
+        with registry.span(
+            "scenario.day_traffic", trace_args={"day": day, "takedown": with_takedown}
+        ):
             # attacks_for_day normalizes the weights (they only set the
             # per-service mix); the takedown's *total* demand level must be
             # applied through the scale factor.
@@ -259,7 +261,9 @@ class Scenario:
         """What ``vantage`` ('ixp' | 'tier1' | 'tier2') exports for the day."""
         vp = self.vantage_point(vantage)
         registry = metrics()
-        with registry.span("scenario.observe_day"):
+        with registry.span(
+            "scenario.observe_day", trace_args={"day": traffic.day, "vantage": vantage}
+        ):
             table = FlowTable.concat([getattr(traffic, kind) for kind in kinds])
             rng = self.seeds.child("observe", vantage, traffic.day).rng()
             observed = vp.observe(table, rng)

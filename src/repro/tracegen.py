@@ -11,6 +11,7 @@ tooling or serve as test fixtures::
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from pathlib import Path
 
@@ -18,10 +19,15 @@ from repro.booter.market import MarketConfig
 from repro.flows.binio import write_flows_binary
 from repro.flows.io import write_flows_csv
 from repro.flows.records import FlowTable
+from repro.logutil import LOG_LEVELS, configure_cli_logging
 from repro.netmodel.topology import TopologyConfig
 from repro.scenario import Scenario, ScenarioConfig
 
 __all__ = ["main", "generate_trace"]
+
+# Explicit name: __name__ is "__main__" under ``python -m repro.tracegen``,
+# which would fall outside the "repro" hierarchy configure_cli_logging sets up.
+_log = logging.getLogger("repro.tracegen")
 
 
 def _small_config(seed: int, scale: float) -> ScenarioConfig:
@@ -94,12 +100,19 @@ def _parser() -> argparse.ArgumentParser:
         help="scenario manifest (JSON from repro.scenario.save_config); "
         "overrides --seed/--scale",
     )
+    parser.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default="info",
+        help="stderr logging verbosity (default: info)",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point: generate and write one observed trace."""
     args = _parser().parse_args(argv)
+    configure_cli_logging(args.log_level)
     try:
         config = None
         if args.config:
@@ -115,16 +128,21 @@ def main(argv: list[str] | None = None) -> int:
             config=config,
         )
     except (ValueError, KeyError, OSError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        _log.error("error: %s", exc)
         return 2
     out = Path(args.out)
     if args.format == "csv":
         n = write_flows_csv(table, out)
     else:
         n = write_flows_binary(table, out)
-    print(
-        f"wrote {n} flows ({table.total_packets:,} packets) from "
-        f"{args.vantage} days [{args.days[0]}, {args.days[1]}) to {out}"
+    _log.info(
+        "wrote %d flows (%s packets) from %s days [%d, %d) to %s",
+        n,
+        f"{table.total_packets:,}",
+        args.vantage,
+        args.days[0],
+        args.days[1],
+        out,
     )
     return 0
 

@@ -76,9 +76,16 @@ class TestRunnerCli:
 
     def test_multiple_experiments(self, capsys):
         assert main(["table1", "fig1c"]) == 0
-        out = capsys.readouterr().out
-        assert "completed" in out
-        assert out.count("===") >= 2
+        captured = capsys.readouterr()
+        # Status lines are logged to stderr; result tables stay on stdout.
+        assert "completed" in captured.err
+        assert captured.out.count("===") >= 2
 
     def test_seed_flag(self, capsys):
         assert main(["table1", "--seed", "5"]) == 0
+
+    def test_log_level_silences_status(self, capsys):
+        assert main(["table1", "--log-level", "warning"]) == 0
+        captured = capsys.readouterr()
+        assert "completed" not in captured.err
+        assert "===" in captured.out  # results still on stdout

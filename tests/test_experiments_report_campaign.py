@@ -44,7 +44,8 @@ class TestReportWriter:
     def test_runner_output_flag(self, tmp_path, capsys):
         out = tmp_path / "run.md"
         assert main(["table1", "--output", str(out)]) == 0
-        assert "report written" in capsys.readouterr().out
+        # Status lines are logged to stderr; stdout stays pipeable.
+        assert "report written" in capsys.readouterr().err
         assert "## table1" in out.read_text()
 
 

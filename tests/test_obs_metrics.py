@@ -338,6 +338,52 @@ class TestInstrumentedPipeline:
         assert pool_utilization(MetricsRegistry()) is None
 
 
+class TestSummaryEdgeCases:
+    """pool_utilization / cache_hit_rate outside the happy full-run path."""
+
+    def test_empty_registry_yields_none(self):
+        registry = MetricsRegistry()
+        assert cache_hit_rate(registry) is None
+        assert pool_utilization(registry) is None
+
+    def test_disabled_registry_yields_none_even_after_traffic(self, scenario):
+        registry = MetricsRegistry(enabled=False)
+        with use_metrics(registry):
+            collect_daily_port_series(scenario, "ixp", SELECTORS, day_range=(40, 41))
+        assert cache_hit_rate(registry) is None
+        assert pool_utilization(registry) is None
+
+    def test_zero_task_pool_run_yields_none_not_zero_division(self):
+        # A jobs>1 call whose items all came from the cache never starts
+        # the pool: tasks/capacity stay zero and utilization must be None.
+        registry = MetricsRegistry()
+        registry.inc("pool.tasks", 0)
+        registry.inc("pool.capacity_s", 0)
+        registry.gauge("pool.workers", 4)
+        assert pool_utilization(registry) is None
+
+    def test_all_hits_and_all_misses_rates(self):
+        hits_only = MetricsRegistry()
+        hits_only.inc("cache.hits", 5)
+        assert cache_hit_rate(hits_only) == 1.0
+        misses_only = MetricsRegistry()
+        misses_only.inc("cache.misses", 5)
+        assert cache_hit_rate(misses_only) == 0.0
+
+    def test_render_profile_handles_empty_disabled_registry(self):
+        text = render_profile(MetricsRegistry(enabled=False))
+        assert "(no spans recorded)" in text
+        assert "hit rate" not in text and "utilization" not in text
+
+    def test_single_day_serial_run_reports_no_pool_summary(self, scenario):
+        # jobs=2 with one item runs inline: real traffic, still no pool.
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            collect_daily_port_series(scenario, "ixp", SELECTORS, day_range=(40, 41), jobs=2)
+        assert registry.counter("pipeline.days_processed") == 1
+        assert pool_utilization(registry) is None
+
+
 class TestProfileAndExport:
     def _recorded(self) -> MetricsRegistry:
         registry = MetricsRegistry()

@@ -1,0 +1,185 @@
+"""Event tracing: recorder semantics, merge, Chrome export, runner wiring."""
+
+import json
+import os
+import pickle
+
+import pytest
+
+from repro.obs import MetricsRegistry, TraceRecorder, chrome_trace_events, write_chrome_trace
+from repro.obs.trace import TRACE_SCHEMA
+
+
+class TestTraceRecorder:
+    def test_record_and_fields(self):
+        recorder = TraceRecorder()
+        recorder.record("stage", start_s=1.0, duration_s=0.5, args={"day": 3})
+        assert len(recorder) == 1
+        name, ts, dur, pid, tid, args = recorder.events[0]
+        assert name == "stage"
+        assert ts == pytest.approx(1.0e6)
+        assert dur == pytest.approx(0.5e6)
+        assert pid == os.getpid()
+        assert tid > 0
+        assert args == {"day": 3}
+
+    def test_bounded_buffer_counts_drops(self):
+        recorder = TraceRecorder(max_events=2)
+        for i in range(5):
+            recorder.record("s", start_s=float(i), duration_s=0.1)
+        assert len(recorder) == 2
+        assert recorder.dropped == 3
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError, match="max_events"):
+            TraceRecorder(max_events=0)
+
+    def test_merge_extends_and_respects_bound(self):
+        a, b = TraceRecorder(max_events=3), TraceRecorder()
+        a.record("x", 0.0, 0.1)
+        for i in range(4):
+            b.record("y", float(i), 0.1)
+        a.merge(b)
+        assert len(a) == 3
+        assert a.dropped == 2  # two of b's events did not fit
+
+    def test_merge_carries_drop_counts(self):
+        a, b = TraceRecorder(), TraceRecorder(max_events=1)
+        b.record("x", 0.0, 0.1)
+        b.record("x", 1.0, 0.1)
+        assert b.dropped == 1
+        a.merge(b)
+        assert len(a) == 1 and a.dropped == 1
+
+    def test_pickle_roundtrip(self):
+        recorder = TraceRecorder(max_events=7)
+        recorder.record("s", 0.0, 0.1, args={"k": 1})
+        clone = pickle.loads(pickle.dumps(recorder))
+        assert clone.max_events == 7
+        assert clone.events == recorder.events
+        assert clone.dropped == 0
+
+    def test_pids(self):
+        recorder = TraceRecorder()
+        recorder.record("s", 0.0, 0.1)
+        assert recorder.pids() == {os.getpid()}
+
+
+class TestRegistryTraceIntegration:
+    def test_spans_emit_trace_events(self):
+        registry = MetricsRegistry(trace=TraceRecorder())
+        with registry.span("outer", trace_args={"day": 9}):
+            with registry.span("inner"):
+                pass
+        names = [event[0] for event in registry.trace.events]
+        assert sorted(names) == ["inner", "outer"]
+        outer = next(e for e in registry.trace.events if e[0] == "outer")
+        assert outer[5] == {"day": 9}
+        # Span aggregation is unchanged by tracing.
+        assert registry.spans[("outer", "inner")].calls == 1
+
+    def test_no_trace_recorder_means_no_buffering(self):
+        registry = MetricsRegistry()
+        with registry.span("s"):
+            pass
+        assert registry.trace is None
+
+    def test_disabled_registry_traces_nothing(self):
+        registry = MetricsRegistry(enabled=False, trace=TraceRecorder())
+        with registry.span("s"):
+            pass
+        assert len(registry.trace) == 0
+
+    def test_merge_folds_trace_buffers(self):
+        parent = MetricsRegistry(trace=TraceRecorder())
+        worker = MetricsRegistry(trace=TraceRecorder())
+        with worker.span("task"):
+            pass
+        parent.merge(worker)
+        assert [e[0] for e in parent.trace.events] == ["task"]
+
+    def test_merge_adopts_recorder_when_parent_has_none(self):
+        parent = MetricsRegistry()
+        worker = MetricsRegistry(trace=TraceRecorder())
+        with worker.span("task"):
+            pass
+        parent.merge(worker)
+        assert parent.trace is not None and len(parent.trace) == 1
+
+    def test_clear_drops_trace_events(self):
+        registry = MetricsRegistry(trace=TraceRecorder())
+        with registry.span("s"):
+            pass
+        registry.clear()
+        assert len(registry.trace) == 0 and registry.trace.dropped == 0
+
+
+class TestChromeExport:
+    def _recorder(self):
+        recorder = TraceRecorder()
+        recorder.record("a", 2.0, 0.5, args={"day": 1})
+        recorder.record("b", 1.0, 0.25)
+        return recorder
+
+    def test_events_sorted_and_rebased(self):
+        events = [e for e in chrome_trace_events(self._recorder()) if e["ph"] == "X"]
+        assert [e["name"] for e in events] == ["b", "a"]
+        assert events[0]["ts"] == 0.0
+        assert events[1]["ts"] == pytest.approx(1.0e6)
+        for event in events:
+            assert {"name", "ph", "ts", "dur", "pid", "tid"} <= set(event)
+
+    def test_process_metadata_labels_parent_and_workers(self):
+        recorder = self._recorder()
+        recorder.events.append(("w", 3.0e6, 1.0, 99999, 99999, None))
+        meta = [e for e in chrome_trace_events(recorder) if e["ph"] == "M"]
+        labels = {e["pid"]: e["args"]["name"] for e in meta}
+        assert labels[os.getpid()] == "repro-experiments"
+        assert labels[99999] == "worker-99999"
+
+    def test_write_chrome_trace_schema(self, tmp_path):
+        out = write_chrome_trace(self._recorder(), tmp_path / "trace.json", run_info={"jobs": 1})
+        payload = json.loads(out.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        assert payload["otherData"]["schema"] == TRACE_SCHEMA
+        assert payload["otherData"]["dropped_events"] == 0
+        assert payload["otherData"]["jobs"] == 1
+        assert any(e["ph"] == "X" for e in payload["traceEvents"])
+
+    def test_empty_recorder_still_valid(self, tmp_path):
+        out = write_chrome_trace(TraceRecorder(), tmp_path / "empty.json")
+        payload = json.loads(out.read_text())
+        assert payload["traceEvents"] == []
+
+
+class TestRunnerTraceOut:
+    def test_trace_out_multiprocess_chrome_json(self, tmp_path):
+        """--trace-out --jobs 4 emits valid Chrome trace-event JSON with
+        span events from the parent *and* at least two worker pids."""
+        from repro.experiments.runner import main
+
+        out = tmp_path / "trace.json"
+        assert main(["fig2b", "--jobs", "4", "--no-cache", "--trace-out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        events = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert events, "no span events recorded"
+        for event in events:
+            assert {"name", "ph", "ts", "dur", "pid", "tid"} <= set(event)
+            assert event["ts"] >= 0 and event["dur"] >= 0
+        worker_pids = {e["pid"] for e in events} - {os.getpid()}
+        assert len(worker_pids) >= 2, f"expected >=2 worker pids, got {worker_pids}"
+        # Day-level spans carry their scenario day in args.
+        assert any("day" in e.get("args", {}) for e in events)
+        # Experiment-level span labels the run.
+        assert any(e.get("args", {}).get("experiment") == "fig2b" for e in events)
+
+    def test_trace_out_serial(self, tmp_path):
+        from repro.experiments.runner import main
+
+        out = tmp_path / "trace.json"
+        assert main(["fig2a", "--no-cache", "--trace-out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        events = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert {e["pid"] for e in events} == {os.getpid()}
+        assert any(e["name"] == "experiment.fig2a" for e in events)

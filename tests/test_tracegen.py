@@ -41,7 +41,8 @@ class TestCli:
     def test_binary_output(self, tmp_path, capsys):
         out = tmp_path / "trace.bin"
         assert main(["--vantage", "tier2", "--days", "40", "41", "--out", str(out)]) == 0
-        assert "wrote" in capsys.readouterr().out
+        # Status goes through logging to stderr, keeping stdout pipeable.
+        assert "wrote" in capsys.readouterr().err
         table = read_flows_binary(out)
         assert len(table) > 0
 
