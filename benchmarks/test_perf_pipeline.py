@@ -198,3 +198,183 @@ def test_perf_disabled_metrics_overhead(scenario):
         f"disabled-metrics overhead {implied:.4f}s exceeds 5% of one day's "
         f"work ({per_day_s:.4f}s); the no-op path has gained real cost"
     )
+
+
+def test_perf_builder_append(benchmark):
+    """Throughput of FlowTableBuilder block appends (the synthesizer path)."""
+    from repro.flows.builder import FlowTableBuilder
+
+    rng = np.random.default_rng(7)
+    blocks = []
+    for _ in range(200):
+        n = int(rng.integers(50, 400))
+        blocks.append(
+            {
+                "time": rng.uniform(0.0, 86_400.0, n),
+                "src_ip": rng.integers(0, 1 << 32, n, dtype=np.uint32),
+                "dst_ip": rng.integers(0, 1 << 32, n, dtype=np.uint32),
+                "proto": np.full(n, 17, dtype=np.uint8),
+                "src_port": np.full(n, 123, dtype=np.uint16),
+                "dst_port": rng.integers(0, 1 << 16, n, dtype=np.uint16),
+                "packets": rng.integers(1, 1000, n),
+                "bytes": rng.integers(64, 1_000_000, n),
+                "src_asn": rng.integers(-1, 300, n),
+                "dst_asn": rng.integers(-1, 300, n),
+            }
+        )
+
+    def build():
+        builder = FlowTableBuilder()
+        for block in blocks:
+            builder.add_block(block)
+        return builder.build()
+
+    table = benchmark(build)
+    assert len(table) == sum(len(b["time"]) for b in blocks)
+
+
+def test_perf_visibility_matrix_mask(benchmark, scenario, day_traffic):
+    """Warm-matrix mask resolution over a full day table."""
+    table = day_traffic.all_flows()
+    visibility = scenario.visibility
+    assert visibility.matrix is not None
+    visibility.matrix.ixp_tables()  # warm outside the timer
+    src, dst = table["src_asn"], table["dst_asn"]
+    mask, peers = benchmark(lambda: visibility.ixp_mask(src, dst))
+    assert mask.shape == peers.shape == src.shape
+
+
+def _legacy_day_traffic(scenario, day, bin_seconds=60.0):
+    """The pre-builder day synthesis: one table per event, concat at the end."""
+    from repro.booter.attack import synthesize_trigger_flows
+    from repro.flows.records import FlowTable
+    from repro.scenario.scenario import DayTraffic
+
+    weights, activity, demand_level = scenario._day_demand(day, True)
+    events = scenario.market.attacks_for_day(
+        day, demand_weights=weights, demand_scale=scenario.config.scale * demand_level
+    )
+    rng = scenario.seeds.child("traffic", day).rng()
+    attack_parts, trigger_parts = [], []
+    for event in events:
+        attack_parts.append(synthesize_attack_flows(event, rng, bin_seconds=bin_seconds))
+        backend = scenario.market.services[event.booter]
+        trigger_parts.append(
+            synthesize_trigger_flows(
+                event, rng, bin_seconds=bin_seconds, origin_asn=backend.backend_asn
+            )
+        )
+    if activity is None:
+        activity = {name: 1.0 for name in scenario.market.services}
+    scaled = {n: a * scenario.config.scale for n, a in activity.items()}
+    return DayTraffic(
+        day=day,
+        events=events,
+        attack=FlowTable.concat(attack_parts),
+        trigger=FlowTable.concat(trigger_parts),
+        scan=scenario.market.scan_flows_for_day(day, activity=scaled),
+        benign=scenario.background.flows_for_day(day, intensity_scale=scenario.config.scale),
+    )
+
+
+def _legacy_observe_all(scenario, traffic):
+    """The pre-matrix observation: cold per-pair oracle, per-vantage concat."""
+    from repro.flows.records import FlowTable
+    from repro.vantage.visibility import FlowVisibility
+
+    oracle = FlowVisibility(scenario.topology)  # cold caches, as in a fresh worker
+    saved = {name: vp.visibility for name, vp in scenario.vantage_points.items()}
+    observed = {}
+    try:
+        for name, vp in scenario.vantage_points.items():
+            vp.visibility = oracle
+            table = FlowTable.concat(
+                [traffic.attack, traffic.trigger, traffic.scan, traffic.benign]
+            )
+            rng = scenario.seeds.child("observe", name, traffic.day).rng()
+            observed[name] = vp.observe(table, rng)
+    finally:
+        for name, vp in scenario.vantage_points.items():
+            vp.visibility = saved[name]
+    return observed
+
+
+def test_perf_flowplane_fastpath(scenario):
+    """Legacy flow plane vs builder + visibility matrix: timed and bit-checked.
+
+    Compares a full day's generate-and-observe under the old shape
+    (per-event tables + concat; fresh lazy visibility oracle, per-vantage
+    re-concat) against the current fast path (FlowTableBuilder synthesis;
+    dense precomputed matrix with fused per-day pair resolution). The
+    observed exports must be bit-identical; timings append to
+    ``benchmarks/BENCH_flowplane.json`` (a JSON list, oldest first) with
+    the matrix build time recorded separately. The >= 2x speedup
+    assertion only applies with >= 2 CPU cores; below that the run
+    records a warning field instead of failing, since a loaded or
+    throttled single-core machine times both paths too noisily.
+    """
+    day = 45
+    reps = 3
+    matrix = scenario.visibility.matrix
+    assert matrix is not None
+
+    start = time.perf_counter()
+    matrix.ixp_tables()
+    matrix.isp_tables(scenario.tier1.asn, True)
+    matrix.isp_tables(scenario.tier2.asn, False)
+    matrix_build_s = time.perf_counter() - start
+
+    legacy_s = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        legacy_traffic = _legacy_day_traffic(scenario, day)
+        legacy_observed = _legacy_observe_all(scenario, legacy_traffic)
+        legacy_s = min(legacy_s, time.perf_counter() - start)
+
+    fast_s = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        traffic = scenario.day_traffic(day)
+        observed = {
+            name: scenario.observe_day(name, traffic)
+            for name in scenario.vantage_points
+        }
+        fast_s = min(fast_s, time.perf_counter() - start)
+
+    from repro.flows.records import SCHEMA
+
+    for name in observed:
+        assert len(observed[name]) == len(legacy_observed[name]), name
+        for column in SCHEMA:
+            np.testing.assert_array_equal(
+                observed[name][column], legacy_observed[name][column], err_msg=f"{name}.{column}"
+            )
+
+    cores = os.cpu_count() or 1
+    speedup = legacy_s / fast_s if fast_s > 0 else float("inf")
+    payload = {
+        "benchmark": "flowplane_day_generate_observe",
+        "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "day": day,
+        "cpu_count": cores,
+        "legacy_s": round(legacy_s, 4),
+        "fastpath_s": round(fast_s, 4),
+        "matrix_build_s": round(matrix_build_s, 4),
+        "speedup": round(speedup, 3),
+        "bit_identical": True,
+    }
+    if cores < 2 and speedup < 2.0:
+        payload["warning"] = (
+            f"speedup {speedup:.2f}x below 2x target; assertion skipped on "
+            f"{cores} core(s)"
+        )
+    out = Path(__file__).parent / "BENCH_flowplane.json"
+    history = json.loads(out.read_text()) if out.exists() else []
+    history.append(payload)
+    out.write_text(json.dumps(history, indent=2) + "\n")
+    print(
+        f"\nflow plane day {day}: legacy {legacy_s:.2f}s, fast {fast_s:.2f}s "
+        f"(+{matrix_build_s:.2f}s one-time matrix build), speedup {speedup:.2f}x"
+    )
+    if cores >= 2:
+        assert speedup >= 2.0, payload

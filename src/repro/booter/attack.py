@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.flows.builder import FlowTableBuilder
 from repro.flows.records import FlowTable
 from repro.protocols.amplification import UDP, vector_by_name
 
@@ -88,6 +89,7 @@ def synthesize_attack_flows(
     bin_seconds: float = 60.0,
     rate_jitter: float = 0.1,
     bin_jitter: float = 0.0,
+    out: FlowTableBuilder | None = None,
 ) -> FlowTable:
     """Expand ``event`` into reflector -> victim response flows.
 
@@ -98,6 +100,10 @@ def synthesize_attack_flows(
     attack-wide rate swings (booter backends do not hold perfectly steady
     rates — the per-second wiggle of Figure 1). Packet sizes use the
     vector's response-size distribution.
+
+    With ``out`` set, the flows are appended to that builder instead of
+    materializing a per-event table (the day pipeline's fast path) and an
+    empty table is returned; the RNG consumption is identical either way.
     """
     if not 0.0 <= rate_jitter < 1.0:
         raise ValueError("rate_jitter must be in [0, 1)")
@@ -125,20 +131,22 @@ def synthesize_attack_flows(
     flow_bytes = np.round(flow_packets * sizes).astype(np.int64)
     n_flows = flow_packets.size
 
-    return FlowTable(
-        {
-            "time": bin_starts[bin_idx],
-            "src_ip": event.reflector_ips[refl_idx],
-            "dst_ip": np.full(n_flows, event.victim_ip, dtype=np.uint32),
-            "proto": np.full(n_flows, UDP, dtype=np.uint8),
-            "src_port": np.full(n_flows, vector.port, dtype=np.uint16),
-            "dst_port": rng.integers(1024, 65535, n_flows).astype(np.uint16),
-            "packets": flow_packets,
-            "bytes": flow_bytes,
-            "src_asn": event.reflector_asns[refl_idx],
-            "dst_asn": np.full(n_flows, event.victim_asn, dtype=np.int64),
-        }
-    )
+    columns = {
+        "time": bin_starts[bin_idx],
+        "src_ip": event.reflector_ips[refl_idx],
+        "dst_ip": np.full(n_flows, event.victim_ip, dtype=np.uint32),
+        "proto": np.full(n_flows, UDP, dtype=np.uint8),
+        "src_port": np.full(n_flows, vector.port, dtype=np.uint16),
+        "dst_port": rng.integers(1024, 65535, n_flows).astype(np.uint16),
+        "packets": flow_packets,
+        "bytes": flow_bytes,
+        "src_asn": event.reflector_asns[refl_idx],
+        "dst_asn": np.full(n_flows, event.victim_asn, dtype=np.int64),
+    }
+    if out is not None:
+        out.add_block(columns)
+        return FlowTable.empty()
+    return FlowTable(columns)
 
 
 def synthesize_trigger_flows(
@@ -146,6 +154,7 @@ def synthesize_trigger_flows(
     rng: np.random.Generator,
     bin_seconds: float = 60.0,
     origin_asn: int = -1,
+    out: FlowTableBuilder | None = None,
 ) -> FlowTable:
     """Expand ``event`` into spoofed victim -> reflector trigger flows.
 
@@ -157,7 +166,8 @@ def synthesize_trigger_flows(
     cannot attribute trigger traffic. ``src_asn`` however carries the
     *true* routing origin (``origin_asn``, the booter backend's AS):
     vantage-point visibility is a property of where packets physically
-    travel, not of the forged header.
+    travel, not of the forged header. With ``out`` set, flows append to
+    that builder (see :func:`synthesize_attack_flows`).
     """
     vector = vector_by_name(event.vector)
     request_pps = event.total_pps / vector.response_packets_per_request
@@ -174,17 +184,19 @@ def synthesize_trigger_flows(
     flow_bytes = np.round(flow_packets * vector.request_size).astype(np.int64)
     n_flows = flow_packets.size
 
-    return FlowTable(
-        {
-            "time": bin_starts[bin_idx],
-            "src_ip": np.full(n_flows, event.victim_ip, dtype=np.uint32),
-            "dst_ip": event.reflector_ips[refl_idx],
-            "proto": np.full(n_flows, UDP, dtype=np.uint8),
-            "src_port": rng.integers(1024, 65535, n_flows).astype(np.uint16),
-            "dst_port": np.full(n_flows, vector.port, dtype=np.uint16),
-            "packets": flow_packets,
-            "bytes": flow_bytes,
-            "src_asn": np.full(n_flows, origin_asn, dtype=np.int64),
-            "dst_asn": event.reflector_asns[refl_idx],
-        }
-    )
+    columns = {
+        "time": bin_starts[bin_idx],
+        "src_ip": np.full(n_flows, event.victim_ip, dtype=np.uint32),
+        "dst_ip": event.reflector_ips[refl_idx],
+        "proto": np.full(n_flows, UDP, dtype=np.uint8),
+        "src_port": rng.integers(1024, 65535, n_flows).astype(np.uint16),
+        "dst_port": np.full(n_flows, vector.port, dtype=np.uint16),
+        "packets": flow_packets,
+        "bytes": flow_bytes,
+        "src_asn": np.full(n_flows, origin_asn, dtype=np.int64),
+        "dst_asn": event.reflector_asns[refl_idx],
+    }
+    if out is not None:
+        out.add_block(columns)
+        return FlowTable.empty()
+    return FlowTable(columns)

@@ -22,6 +22,7 @@ from repro.booter.reflectors import (
     ReflectorSetProcess,
 )
 from repro.booter.service import BooterService, ServicePlan
+from repro.flows.builder import FlowTableBuilder
 from repro.flows.records import FlowTable
 from repro.netmodel.asn import ASRegistry, ASRole
 from repro.netmodel.addressing import random_ips_in_prefix
@@ -384,7 +385,7 @@ class BooterMarket:
         working set.
         """
         rng = self.seeds.child("scans", day).rng()
-        tables: list[FlowTable] = []
+        builder = FlowTableBuilder()
         n_bins = int(SECONDS_PER_DAY / bin_seconds)
         for name in self.service_names():
             service = self.services[name]
@@ -410,20 +411,18 @@ class BooterMarket:
                 flow_packets = per_flow[bins_idx, tgt_idx].astype(np.int64)
                 chosen = target_idx[bins_idx, tgt_idx]
                 n_flows = flow_packets.size
-                tables.append(
-                    FlowTable(
-                        {
-                            "time": day * SECONDS_PER_DAY + bins_idx * bin_seconds,
-                            "src_ip": np.full(n_flows, service.backend_ip, dtype=np.uint32),
-                            "dst_ip": pool.ips[chosen],
-                            "proto": np.full(n_flows, UDP, dtype=np.uint8),
-                            "src_port": rng.integers(1024, 65535, n_flows).astype(np.uint16),
-                            "dst_port": np.full(n_flows, vector.port, dtype=np.uint16),
-                            "packets": flow_packets,
-                            "bytes": np.round(flow_packets * probe_size).astype(np.int64),
-                            "src_asn": np.full(n_flows, service.backend_asn, dtype=np.int64),
-                            "dst_asn": pool.asns[chosen],
-                        }
-                    )
+                builder.add_block(
+                    {
+                        "time": day * SECONDS_PER_DAY + bins_idx * bin_seconds,
+                        "src_ip": np.full(n_flows, service.backend_ip, dtype=np.uint32),
+                        "dst_ip": pool.ips[chosen],
+                        "proto": np.full(n_flows, UDP, dtype=np.uint8),
+                        "src_port": rng.integers(1024, 65535, n_flows).astype(np.uint16),
+                        "dst_port": np.full(n_flows, vector.port, dtype=np.uint16),
+                        "packets": flow_packets,
+                        "bytes": np.round(flow_packets * probe_size).astype(np.int64),
+                        "src_asn": np.full(n_flows, service.backend_asn, dtype=np.int64),
+                        "dst_asn": pool.asns[chosen],
+                    }
                 )
-        return FlowTable.concat(tables)
+        return builder.build()

@@ -110,12 +110,22 @@ class StreamingAnalyzer:
                 per_min = np.zeros(uniq.size)
                 np.add.at(per_min, inverse, amplified["bytes"].astype(np.float64))
                 dsts = (uniq >> 32).astype(np.uint32)
-                for dst, value in zip(dsts.tolist(), per_min.tolist()):
+                # Reduce to one peak / one packet sum per destination before
+                # touching the dicts: float max and int64 sum are exact and
+                # commutative, so the merged values are bit-identical to the
+                # per-event loop this replaces.
+                peak_dsts, peak_inverse = np.unique(dsts, return_inverse=True)
+                day_peak = np.zeros(peak_dsts.size)
+                np.maximum.at(day_peak, peak_inverse, per_min)
+                for dst, value in zip(peak_dsts.tolist(), day_peak.tolist()):
                     if value > self._peak_bytes_per_min.get(dst, 0.0):
                         self._peak_bytes_per_min[dst] = value
-                for dst, pkts in zip(
-                    amplified["dst_ip"].tolist(), amplified["packets"].tolist()
-                ):
+                pkt_dsts, pkt_inverse = np.unique(
+                    amplified["dst_ip"], return_inverse=True
+                )
+                pkt_sum = np.zeros(pkt_dsts.size, dtype=np.int64)
+                np.add.at(pkt_sum, pkt_inverse, amplified["packets"])
+                for dst, pkts in zip(pkt_dsts.tolist(), pkt_sum.tolist()):
                     self._total_packets[dst] = self._total_packets.get(dst, 0) + pkts
 
             # Track 3: hourly conservative attack counts.

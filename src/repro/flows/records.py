@@ -116,24 +116,68 @@ class FlowTable:
 
     # -- constructors -------------------------------------------------------
 
-    @staticmethod
-    def empty() -> "FlowTable":
-        return FlowTable({name: np.empty(0, dtype=dt) for name, dt in SCHEMA.items()})
+    @classmethod
+    def _from_validated(cls, columns: dict[str, np.ndarray]) -> "FlowTable":
+        """Trusted constructor: skip per-column casting and default filling.
+
+        Only for call sites that guarantee schema-exact columns (the
+        builder, ``concat``, ``filter``, ...). Misuse is still rejected —
+        the guards below are O(#columns) identity checks, not copies.
+        """
+        length = -1
+        for name, dtype in SCHEMA.items():
+            arr = columns.get(name)
+            if not isinstance(arr, np.ndarray) or arr.dtype != dtype or arr.ndim != 1:
+                raise ValueError(
+                    f"_from_validated: column {name!r} must be a 1-D ndarray "
+                    f"of dtype {dtype}"
+                )
+            if length < 0:
+                length = arr.size
+            elif arr.size != length:
+                raise ValueError(
+                    f"_from_validated: column {name!r} has {arr.size} rows, "
+                    f"expected {length}"
+                )
+        if len(columns) != len(SCHEMA):
+            unknown = sorted(set(columns) - set(SCHEMA))
+            raise ValueError(f"_from_validated: unknown columns: {unknown}")
+        table = cls.__new__(cls)
+        table._columns = dict(columns)
+        return table
 
     @staticmethod
-    def concat(tables: list["FlowTable"]) -> "FlowTable":
-        """Concatenate tables (row-wise)."""
+    def empty() -> "FlowTable":
+        return FlowTable._from_validated(
+            {name: np.empty(0, dtype=dt) for name, dt in SCHEMA.items()}
+        )
+
+    @staticmethod
+    def concat(tables) -> "FlowTable":
+        """Concatenate tables (row-wise); accepts any iterable of tables.
+
+        Output columns are preallocated once at the total length and
+        filled by slice assignment, so concatenating many small tables
+        (or tables that are themselves concat results) copies each row
+        exactly once instead of re-running validation and
+        ``np.concatenate`` per column per level.
+        """
         tables = [t for t in tables if len(t)]
         if not tables:
             return FlowTable.empty()
         if len(tables) == 1:
             return tables[0]
-        return FlowTable(
-            {
-                name: np.concatenate([t._columns[name] for t in tables])
-                for name in SCHEMA
-            }
-        )
+        total = sum(len(t) for t in tables)
+        cols: dict[str, np.ndarray] = {}
+        for name, dtype in SCHEMA.items():
+            out = np.empty(total, dtype=dtype)
+            pos = 0
+            for t in tables:
+                n = len(t)
+                out[pos : pos + n] = t._columns[name]
+                pos += n
+            cols[name] = out
+        return FlowTable._from_validated(cols)
 
     @staticmethod
     def from_records(records: list[FlowRecord]) -> "FlowTable":
@@ -215,7 +259,14 @@ class FlowTable:
         mask = np.asarray(mask)
         if mask.dtype != np.bool_ or mask.shape != (len(self),):
             raise ValueError("mask must be a boolean array of table length")
-        return FlowTable({name: col[mask] for name, col in self._columns.items()})
+        if mask.all():
+            # Tables are immutable by convention (as in concat's
+            # single-table passthrough), so an all-True filter can skip
+            # re-copying every column.
+            return self
+        return FlowTable._from_validated(
+            {name: col[mask] for name, col in self._columns.items()}
+        )
 
     def select(
         self,
@@ -261,7 +312,9 @@ class FlowTable:
 
     def sort_by_time(self) -> "FlowTable":
         order = np.argsort(self._columns["time"], kind="stable")
-        return FlowTable({name: col[order] for name, col in self._columns.items()})
+        return FlowTable._from_validated(
+            {name: col[order] for name, col in self._columns.items()}
+        )
 
     def scale_counts(self, factor: float) -> "FlowTable":
         """Multiply packet/byte counters by ``factor`` (sampling renormalization)."""
@@ -270,7 +323,7 @@ class FlowTable:
         cols = dict(self._columns)
         cols["packets"] = np.round(self._columns["packets"] * factor).astype(np.int64)
         cols["bytes"] = np.round(self._columns["bytes"] * factor).astype(np.int64)
-        return FlowTable(cols)
+        return FlowTable._from_validated(cols)
 
     def with_columns(self, **overrides: np.ndarray) -> "FlowTable":
         """Replace whole columns (e.g. anonymized addresses)."""

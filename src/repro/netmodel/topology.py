@@ -79,6 +79,7 @@ class ASTopology:
         self._peers: dict[int, set[int]] = {}
         self._ixp_peer_edges: set[frozenset[int]] = set()
         self._route_cache: dict[int, dict[int, _RouteEntry]] = {}
+        self._version = 0
 
     # -- construction -----------------------------------------------------
 
@@ -104,6 +105,7 @@ class ASTopology:
         self._providers[customer].add(provider)
         self._customers[provider].add(customer)
         self._route_cache.clear()
+        self._version += 1
 
     def add_peering(self, a: int, b: int, via_ixp: bool = False) -> None:
         """Add a settlement-free peer edge, optionally over the IXP fabric."""
@@ -118,6 +120,7 @@ class ASTopology:
         if via_ixp:
             self._ixp_peer_edges.add(frozenset((a, b)))
         self._route_cache.clear()
+        self._version += 1
 
     # -- simple accessors ---------------------------------------------------
 
@@ -136,6 +139,11 @@ class ASTopology:
     @property
     def asns(self) -> list[int]:
         return sorted(self._providers)
+
+    @property
+    def version(self) -> int:
+        """Edge-mutation counter; lets derived caches detect staleness."""
+        return self._version
 
     def customer_cone(self, asn: int) -> set[int]:
         """``asn`` plus every AS reachable by repeatedly descending to customers."""

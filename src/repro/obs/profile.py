@@ -17,6 +17,7 @@ from repro.obs.metrics import Histogram, MetricsRegistry, SpanStats
 __all__ = [
     "EXPORT_SCHEMA",
     "cache_hit_rate",
+    "matrix_hit_rate",
     "pool_utilization",
     "render_profile",
     "export_metrics",
@@ -33,6 +34,22 @@ def cache_hit_rate(registry: MetricsRegistry) -> float | None:
     hits = registry.counter("cache.hits")
     misses = registry.counter("cache.misses")
     total = hits + misses
+    if total == 0:
+        return None
+    return hits / total
+
+
+def matrix_hit_rate(registry: MetricsRegistry) -> float | None:
+    """Visibility-matrix fast-path fraction, or ``None`` if unused.
+
+    Flows whose ASNs resolve inside the precomputed matrix count as
+    hits; out-of-registry ASNs fall back to the per-pair oracle. A low
+    rate flags scenarios paying the lazy-lookup cost the matrix was
+    meant to remove.
+    """
+    hits = registry.counter("visibility.matrix_hits")
+    fallbacks = registry.counter("visibility.fallback_lookups")
+    total = hits + fallbacks
     if total == 0:
         return None
     return hits / total
@@ -89,6 +106,13 @@ def render_profile(registry: MetricsRegistry, title: str | None = None) -> str:
             f"day-cache hit rate: {hit_rate * 100:.1f}% "
             f"({registry.counter('cache.hits'):.0f}/"
             f"{registry.counter('cache.hits') + registry.counter('cache.misses'):.0f})"
+        )
+    visibility_rate = matrix_hit_rate(registry)
+    if visibility_rate is not None:
+        summary.append(
+            f"visibility matrix hits: {visibility_rate * 100:.1f}% "
+            f"({registry.counter('visibility.matrix_hits'):.0f} fast / "
+            f"{registry.counter('visibility.fallback_lookups'):.0f} fallback)"
         )
     utilization = pool_utilization(registry)
     if utilization is not None:

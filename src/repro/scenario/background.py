@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.booter.reflectors import ReflectorPool
+from repro.flows.builder import FlowTableBuilder
 from repro.flows.records import FlowTable
 from repro.netmodel.asn import ASRegistry, ASRole
 from repro.netmodel.addressing import random_ips_in_prefix
@@ -109,11 +110,10 @@ class BenignBackground:
             self._servers[port] = (pool.ips, pool.asns)
 
     def _ntp_noise_flows(
-        self, day: int, rng: np.random.Generator, intensity_scale: float
-    ) -> list[FlowTable]:
+        self, day: int, rng: np.random.Generator, intensity_scale: float, out: FlowTableBuilder
+    ) -> None:
         """Large-packet NTP noise: custom apps and monlist monitoring."""
         config = self.config
-        tables: list[FlowTable] = []
         ntp_ips, ntp_asns = self._servers.get(123, (None, None))
 
         # Custom applications on port 123: pairwise flows with >200-byte
@@ -125,27 +125,25 @@ class BenignBackground:
             packets = 1 + rng.geometric(1.0 / config.ntp_noise_packets_mean, n_noise)
             sizes = rng.uniform(250.0, 1200.0, n_noise)
             times = day * SECONDS_PER_DAY + rng.uniform(0, SECONDS_PER_DAY, n_noise)
-            tables.append(
-                FlowTable(
-                    {
-                        "time": times,
-                        "src_ip": self.client_ips[a],
-                        "dst_ip": self.client_ips[b],
-                        "proto": np.full(n_noise, UDP, dtype=np.uint8),
-                        "src_port": np.full(n_noise, 123, dtype=np.uint16),
-                        "dst_port": rng.integers(1024, 65535, n_noise).astype(np.uint16),
-                        "packets": packets.astype(np.int64),
-                        "bytes": np.round(packets * sizes).astype(np.int64),
-                        "src_asn": self.client_asns[a],
-                        "dst_asn": self.client_asns[b],
-                    }
-                )
+            out.add_block(
+                {
+                    "time": times,
+                    "src_ip": self.client_ips[a],
+                    "dst_ip": self.client_ips[b],
+                    "proto": np.full(n_noise, UDP, dtype=np.uint8),
+                    "src_port": np.full(n_noise, 123, dtype=np.uint16),
+                    "dst_port": rng.integers(1024, 65535, n_noise).astype(np.uint16),
+                    "packets": packets.astype(np.int64),
+                    "bytes": np.round(packets * sizes).astype(np.int64),
+                    "src_asn": self.client_asns[a],
+                    "dst_asn": self.client_asns[b],
+                }
             )
 
         # Monlist monitoring: each scanner address receives 486-byte
         # responses from a few dozen reflectors.
         if ntp_ips is None:
-            return tables
+            return
         n_scanners = rng.poisson(config.monitor_scanners_per_day * intensity_scale)
         for _ in range(n_scanners):
             scanner_idx = int(rng.integers(0, self.client_ips.size))
@@ -154,23 +152,20 @@ class BenignBackground:
             refl = rng.choice(ntp_ips.size, size=k, replace=False)
             packets = rng.poisson(config.monitor_packets_per_reflector, k) + 1
             times = day * SECONDS_PER_DAY + rng.uniform(0, SECONDS_PER_DAY, k)
-            tables.append(
-                FlowTable(
-                    {
-                        "time": times,
-                        "src_ip": ntp_ips[refl],
-                        "dst_ip": np.full(k, self.client_ips[scanner_idx], dtype=np.uint32),
-                        "proto": np.full(k, UDP, dtype=np.uint8),
-                        "src_port": np.full(k, 123, dtype=np.uint16),
-                        "dst_port": rng.integers(1024, 65535, k).astype(np.uint16),
-                        "packets": packets.astype(np.int64),
-                        "bytes": np.round(packets * 486.0).astype(np.int64),
-                        "src_asn": ntp_asns[refl],
-                        "dst_asn": np.full(k, self.client_asns[scanner_idx], dtype=np.int64),
-                    }
-                )
+            out.add_block(
+                {
+                    "time": times,
+                    "src_ip": ntp_ips[refl],
+                    "dst_ip": np.full(k, self.client_ips[scanner_idx], dtype=np.uint32),
+                    "proto": np.full(k, UDP, dtype=np.uint8),
+                    "src_port": np.full(k, 123, dtype=np.uint16),
+                    "dst_port": rng.integers(1024, 65535, k).astype(np.uint16),
+                    "packets": packets.astype(np.int64),
+                    "bytes": np.round(packets * 486.0).astype(np.int64),
+                    "src_asn": ntp_asns[refl],
+                    "dst_asn": np.full(k, self.client_asns[scanner_idx], dtype=np.int64),
+                }
             )
-        return tables
 
     def flows_for_day(self, day: int, intensity_scale: float = 1.0) -> FlowTable:
         """All benign flows for ``day`` across modeled ports."""
@@ -178,7 +173,8 @@ class BenignBackground:
             raise ValueError("intensity_scale cannot be negative")
         rng = self.seeds.child("background", day).rng()
         config = self.config
-        tables: list[FlowTable] = self._ntp_noise_flows(day, rng, intensity_scale)
+        builder = FlowTableBuilder()
+        self._ntp_noise_flows(day, rng, intensity_scale, builder)
         for port, mix in BENIGN_MIXES.items():
             if port not in self._servers:
                 continue
@@ -201,7 +197,7 @@ class BenignBackground:
             mean_per_flow = max(packet_budget / n_flows, 1.0)
             packets = 1 + rng.geometric(1.0 / mean_per_flow, n_flows)
             sizes = mix.sample_sizes(rng, n_flows)
-            query = FlowTable(
+            builder.add_block(
                 {
                     "time": times.astype(float),
                     "src_ip": self.client_ips[client_idx],
@@ -215,27 +211,24 @@ class BenignBackground:
                     "dst_asn": server_asns[server_idx],
                 }
             )
-            tables.append(query)
             # Matching benign responses (server -> client, small packets).
             n_resp = int(n_flows * config.response_fraction)
             if n_resp:
                 keep = rng.choice(n_flows, size=n_resp, replace=False)
                 resp_sizes = mix.sample_sizes(rng, n_resp)
                 resp_packets = packets[keep]
-                tables.append(
-                    FlowTable(
-                        {
-                            "time": times[keep].astype(float),
-                            "src_ip": server_ips[server_idx[keep]],
-                            "dst_ip": self.client_ips[client_idx[keep]],
-                            "proto": np.full(n_resp, UDP, dtype=np.uint8),
-                            "src_port": np.full(n_resp, port, dtype=np.uint16),
-                            "dst_port": rng.integers(1024, 65535, n_resp).astype(np.uint16),
-                            "packets": resp_packets.astype(np.int64),
-                            "bytes": np.round(resp_packets * resp_sizes).astype(np.int64),
-                            "src_asn": server_asns[server_idx[keep]],
-                            "dst_asn": self.client_asns[client_idx[keep]],
-                        }
-                    )
+                builder.add_block(
+                    {
+                        "time": times[keep].astype(float),
+                        "src_ip": server_ips[server_idx[keep]],
+                        "dst_ip": self.client_ips[client_idx[keep]],
+                        "proto": np.full(n_resp, UDP, dtype=np.uint8),
+                        "src_port": np.full(n_resp, port, dtype=np.uint16),
+                        "dst_port": rng.integers(1024, 65535, n_resp).astype(np.uint16),
+                        "packets": resp_packets.astype(np.int64),
+                        "bytes": np.round(resp_packets * resp_sizes).astype(np.int64),
+                        "src_asn": server_asns[server_idx[keep]],
+                        "dst_asn": self.client_asns[client_idx[keep]],
+                    }
                 )
-        return FlowTable.concat(tables)
+        return builder.build()

@@ -14,6 +14,7 @@ from repro.booter.attack import AttackEvent, synthesize_attack_flows, synthesize
 from repro.booter.market import BooterMarket
 from repro.booter.reflectors import ReflectorPool
 from repro.booter.takedown import TakedownScenario
+from repro.flows.builder import FlowTableBuilder
 from repro.flows.records import FlowTable
 from repro.netmodel.addressing import Prefix
 from repro.netmodel.asn import ASRole, AutonomousSystem
@@ -25,6 +26,7 @@ from repro.stats.rng import SeedSequenceTree
 from repro.vantage.base import CaptureWindow, VantagePoint
 from repro.vantage.isp import ISPVantagePoint
 from repro.vantage.ixp import IXPVantagePoint
+from repro.vantage.matrix import VisibilityMatrix
 from repro.vantage.observatory import IXPObservatory
 from repro.vantage.visibility import FlowVisibility
 
@@ -33,7 +35,13 @@ __all__ = ["DayTraffic", "Scenario"]
 
 @dataclass
 class DayTraffic:
-    """Ground-truth traffic of one scenario day, by kind."""
+    """Ground-truth traffic of one scenario day, by kind.
+
+    The combined-table accessors memoize their concat (the three vantage
+    points observe the same day table, so re-concatenating per vantage
+    tripled the copy work). Tables are immutable by convention, so the
+    cached result stays valid for the life of the object.
+    """
 
     day: int
     events: list[AttackEvent]
@@ -43,11 +51,37 @@ class DayTraffic:
     benign: FlowTable
 
     def all_flows(self) -> FlowTable:
-        return FlowTable.concat([self.attack, self.trigger, self.scan, self.benign])
+        cached = self.__dict__.get("_all_flows")
+        if cached is None:
+            cached = FlowTable.concat([self.attack, self.trigger, self.scan, self.benign])
+            self._all_flows = cached
+        return cached
 
     def to_reflectors(self) -> FlowTable:
         """Traffic towards reflector ports (triggers + scans + benign queries)."""
-        return FlowTable.concat([self.trigger, self.scan, self.benign])
+        cached = self.__dict__.get("_to_reflectors")
+        if cached is None:
+            cached = FlowTable.concat([self.trigger, self.scan, self.benign])
+            self._to_reflectors = cached
+        return cached
+
+    def pair_index(self, matrix: VisibilityMatrix) -> tuple:
+        """Memoized visibility-matrix indices for :meth:`all_flows`.
+
+        The (src, dst) ASN -> matrix-index resolution is identical for
+        every vantage point observing this day, so it is computed once
+        per (traffic, matrix) pair and shared.
+        """
+        cached = self.__dict__.get("_pair_index")
+        if (
+            cached is None
+            or cached[0] is not matrix
+            or cached[1] != matrix.generation
+        ):
+            table = self.all_flows()
+            index = matrix.pair_index(table["src_asn"], table["dst_asn"])
+            self._pair_index = cached = (matrix, matrix.generation, index)
+        return cached[2]
 
 
 class Scenario:
@@ -87,8 +121,12 @@ class Scenario:
             self.registry, self.pools, self.config.background, self.seeds.child("bg")
         )
 
-        # Vantage points.
-        self.visibility = FlowVisibility(self.topology)
+        # Vantage points. The dense visibility matrix is precomputed over
+        # the full registry (tables build lazily on first observation);
+        # the per-pair oracle stays as the fallback for unknown ASNs.
+        self.visibility = FlowVisibility(
+            self.topology, matrix=VisibilityMatrix(self.topology)
+        )
         tier1_asn = self.registry.by_role(ASRole.TIER1)[0].asn
         tier2_members = [
             a for a in self.registry.by_role(ASRole.TIER2) if a.ixp_member
@@ -213,18 +251,20 @@ class Scenario:
                 day, demand_weights=weights, demand_scale=self.config.scale * demand_level
             )
             rng = self.seeds.child("traffic", day).rng()
-            attack_tables: list[FlowTable] = []
-            trigger_tables: list[FlowTable] = []
+            attack_builder = FlowTableBuilder()
+            trigger_builder = FlowTableBuilder()
             with registry.span("scenario.synthesize_flows"):
                 for event in events:
-                    attack_tables.append(
-                        synthesize_attack_flows(event, rng, bin_seconds=bin_seconds)
+                    synthesize_attack_flows(
+                        event, rng, bin_seconds=bin_seconds, out=attack_builder
                     )
                     backend = self.market.services[event.booter]
-                    trigger_tables.append(
-                        synthesize_trigger_flows(
-                            event, rng, bin_seconds=bin_seconds, origin_asn=backend.backend_asn
-                        )
+                    synthesize_trigger_flows(
+                        event,
+                        rng,
+                        bin_seconds=bin_seconds,
+                        origin_asn=backend.backend_asn,
+                        out=trigger_builder,
                     )
                 # Scan volume scales with the simulated world size like
                 # everything else.
@@ -236,8 +276,8 @@ class Scenario:
             traffic = DayTraffic(
                 day=day,
                 events=events,
-                attack=FlowTable.concat(attack_tables),
-                trigger=FlowTable.concat(trigger_tables),
+                attack=attack_builder.build(),
+                trigger=trigger_builder.build(),
                 scan=scan,
                 benign=benign,
             )
@@ -264,9 +304,21 @@ class Scenario:
         with registry.span(
             "scenario.observe_day", trace_args={"day": traffic.day, "vantage": vantage}
         ):
-            table = FlowTable.concat([getattr(traffic, kind) for kind in kinds])
+            # Fused fast path for the standard full-day observation: the
+            # memoized day table and its matrix pair indices are shared by
+            # all three vantage points instead of re-concatenating and
+            # re-resolving per vantage.
+            default_kinds = kinds == ("attack", "trigger", "scan", "benign")
+            if default_kinds:
+                table = traffic.all_flows()
+            else:
+                table = FlowTable.concat([getattr(traffic, kind) for kind in kinds])
+            pair_index = None
+            matrix = self.visibility.matrix
+            if default_kinds and matrix is not None and len(table):
+                pair_index = traffic.pair_index(matrix)
             rng = self.seeds.child("observe", vantage, traffic.day).rng()
-            observed = vp.observe(table, rng)
+            observed = vp.observe(table, rng, pair_index=pair_index)
         if registry.enabled:
             registry.inc("scenario.days_observed")
             registry.inc("scenario.flows_observed", len(observed))

@@ -16,6 +16,7 @@ the synthetic global traffic, plus the paper's dedicated measurement AS
 from repro.vantage.base import CaptureWindow, VantagePoint
 from repro.vantage.isp import ISPVantagePoint
 from repro.vantage.ixp import IXPVantagePoint
+from repro.vantage.matrix import VisibilityMatrix
 from repro.vantage.observatory import IXPObservatory, SelfAttackMeasurement
 from repro.vantage.visibility import FlowVisibility
 
@@ -27,4 +28,5 @@ __all__ = [
     "IXPVantagePoint",
     "SelfAttackMeasurement",
     "VantagePoint",
+    "VisibilityMatrix",
 ]

@@ -72,13 +72,17 @@ class VantagePoint(ABC):
         self.anonymizer = anonymizer
 
     @abstractmethod
-    def visibility_filter(self, table: FlowTable) -> FlowTable:
+    def visibility_filter(self, table: FlowTable, pair_index=None) -> FlowTable:
         """Flows this vantage point's export would contain, with
-        ``peer_asn`` set to the handover neighbor."""
+        ``peer_asn`` set to the handover neighbor. ``pair_index``
+        optionally carries precomputed visibility-matrix indices for
+        ``table``'s ASN columns (shared across vantage points)."""
 
-    def observe(self, table: FlowTable, rng: np.random.Generator) -> FlowTable:
+    def observe(
+        self, table: FlowTable, rng: np.random.Generator, pair_index=None
+    ) -> FlowTable:
         """Full observation pipeline: filter, clip, sample, anonymize."""
-        visible = self.visibility_filter(table)
+        visible = self.visibility_filter(table, pair_index=pair_index)
         clipped = self.window.clip_table(visible)
         sampled = self.sampler.apply(clipped, rng)
         if self.anonymizer is not None and len(sampled):

@@ -44,10 +44,14 @@ class ISPVantagePoint(VantagePoint):
         self.ingress_only = ingress_only
         self.visibility = visibility
 
-    def visibility_filter(self, table: FlowTable) -> FlowTable:
+    def visibility_filter(self, table: FlowTable, pair_index=None) -> FlowTable:
         if len(table) == 0:
             return table
         mask, peers = self.visibility.isp_mask(
-            self.asn, table["src_asn"], table["dst_asn"], self.ingress_only
+            self.asn,
+            table["src_asn"],
+            table["dst_asn"],
+            self.ingress_only,
+            pair_index=pair_index,
         )
         return table.with_columns(peer_asn=peers).filter(mask)

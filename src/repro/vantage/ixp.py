@@ -37,8 +37,10 @@ class IXPVantagePoint(VantagePoint):
         )
         self.visibility = visibility
 
-    def visibility_filter(self, table: FlowTable) -> FlowTable:
+    def visibility_filter(self, table: FlowTable, pair_index=None) -> FlowTable:
         if len(table) == 0:
             return table
-        mask, peers = self.visibility.ixp_mask(table["src_asn"], table["dst_asn"])
+        mask, peers = self.visibility.ixp_mask(
+            table["src_asn"], table["dst_asn"], pair_index=pair_index
+        )
         return table.with_columns(peer_asn=peers).filter(mask)

@@ -1,0 +1,193 @@
+"""Dense precomputed visibility verdicts for all registry AS pairs.
+
+:class:`~repro.vantage.visibility.FlowVisibility` answers one (src ASN,
+dst ASN) pair at a time through a memoized oracle; at day-pipeline scale
+the Python loop over unique pairs dominates observation, and each worker
+process re-warms its caches from scratch. :class:`VisibilityMatrix`
+instead materializes the verdicts for *every* ordered pair of registry
+ASNs into dense ``(n_asn x n_asn)`` ``visible``/``peer_asn`` arrays, so a
+whole flow table resolves with two ``searchsorted`` calls and fancy
+indexing — no per-pair Python work, and the arrays survive pickling and
+forking intact.
+
+The matrices are built from the topology's per-destination route trees in
+O(n^2): a source's verdict towards a destination is either decided by its
+first hop (the hop crosses the IXP fabric / reaches the observer) or
+inherited from its next hop's verdict, so each destination column fills
+in one pass over ASes ordered by route length. Verdicts are bit-identical
+to the lazy oracle's (the test suite asserts parity over all pairs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netmodel.topology import ASTopology
+
+__all__ = ["VisibilityMatrix"]
+
+
+class VisibilityMatrix:
+    """Precomputed ``visible``/``peer_asn`` tables over registry ASNs.
+
+    Tables are built lazily per observation kind (IXP fabric, or one
+    ``(observer ASN, ingress_only)`` ISP view) and invalidated when the
+    topology gains edges after construction. ASN values outside the
+    registry (e.g. ``-1`` for unresolved addresses) are not covered;
+    callers route those through the lazy oracle fallback.
+    """
+
+    #: Largest ASN value for which a dense ASN -> index lookup table is
+    #: materialized (int32, so 4 MiB at the cap); beyond it ``index_of``
+    #: degrades to binary search.
+    _LUT_MAX_ASN = 1 << 20
+
+    def __init__(self, topology: ASTopology) -> None:
+        self.topology = topology
+        self._generation = topology.version
+        self._asns = np.asarray(topology.asns, dtype=np.int64)
+        self._lut = self._build_lut(self._asns)
+        self._ixp: tuple[np.ndarray, np.ndarray] | None = None
+        self._isp: dict[tuple[int, bool], tuple[np.ndarray, np.ndarray]] = {}
+
+    @staticmethod
+    def _build_lut(asns: np.ndarray) -> np.ndarray | None:
+        if asns.size == 0 or int(asns[-1]) > VisibilityMatrix._LUT_MAX_ASN:
+            return None
+        lut = np.full(int(asns[-1]) + 1, -1, dtype=np.int32)
+        lut[asns] = np.arange(asns.size, dtype=np.int32)
+        return lut
+
+    # -- ASN index ----------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Topology edge-mutation counter the cached tables correspond to."""
+        self._refresh()
+        return self._generation
+
+    def _refresh(self) -> None:
+        if self.topology.version != self._generation:
+            self._generation = self.topology.version
+            self._asns = np.asarray(self.topology.asns, dtype=np.int64)
+            self._lut = self._build_lut(self._asns)
+            self._ixp = None
+            self._isp.clear()
+
+    @property
+    def asns(self) -> np.ndarray:
+        """Sorted registry ASNs; row/column ``i`` of every table is ``asns[i]``."""
+        self._refresh()
+        return self._asns
+
+    def index_of(self, asn_values: np.ndarray) -> np.ndarray:
+        """Map ASN values to table indices (``-1`` for out-of-registry ASNs)."""
+        asns = self.asns
+        values = np.asarray(asn_values, dtype=np.int64)
+        if self._lut is not None:
+            # Direct gather: one clip + one take beats a binary search per
+            # value on the multi-100k-row day tables.
+            in_range = (values >= 0) & (values < self._lut.size)
+            idx = self._lut[np.where(in_range, values, 0)].astype(np.int64)
+            idx[~in_range] = -1
+            return idx
+        idx = np.searchsorted(asns, values)
+        idx[idx == asns.size] = 0
+        return np.where(asns[idx] == values, idx, -1)
+
+    def pair_index(self, src_asns: np.ndarray, dst_asns: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(src indices, dst indices) for aligned ASN arrays, ``-1`` = unknown."""
+        src_asns = np.asarray(src_asns)
+        dst_asns = np.asarray(dst_asns)
+        if src_asns.shape != dst_asns.shape:
+            raise ValueError("src and dst ASN arrays must align")
+        return self.index_of(src_asns), self.index_of(dst_asns)
+
+    # -- table construction -------------------------------------------------
+
+    def _length_order(self, routes: dict) -> list[int]:
+        """Route holders ordered so every AS follows its next hop.
+
+        At the route tree's fixed point each entry's length is exactly its
+        next hop's length plus one, so ascending length order guarantees
+        the inherited verdict is already filled in.
+        """
+        return sorted(routes, key=lambda asn: routes[asn].length)
+
+    def ixp_tables(self) -> tuple[np.ndarray, np.ndarray]:
+        """Dense IXP verdicts: ``(visible[src, dst], peer_asn[src, dst])``."""
+        self._refresh()
+        if self._ixp is None:
+            topo = self.topology
+            asns = self._asns
+            n = asns.size
+            index = {int(a): i for i, a in enumerate(asns)}
+            visible = np.zeros((n, n), dtype=bool)
+            peer = np.full((n, n), -1, dtype=np.int64)
+            for j, dst in enumerate(asns.tolist()):
+                routes = topo._routes_to(dst)
+                for src in self._length_order(routes):
+                    if src == dst:
+                        continue
+                    hop = routes[src].next_hop
+                    i = index[src]
+                    if topo.is_ixp_peering(src, hop):
+                        visible[i, j] = True
+                        peer[i, j] = src
+                    else:
+                        k = index[hop]
+                        visible[i, j] = visible[k, j]
+                        peer[i, j] = peer[k, j]
+            self._ixp = (visible, peer)
+        return self._ixp
+
+    def isp_tables(self, observer_asn: int, ingress_only: bool) -> tuple[np.ndarray, np.ndarray]:
+        """Dense ISP verdicts for one ``(observer, ingress_only)`` view."""
+        self._refresh()
+        key = (int(observer_asn), bool(ingress_only))
+        cached = self._isp.get(key)
+        if cached is not None:
+            return cached
+        topo = self.topology
+        asns = self._asns
+        n = asns.size
+        index = {int(a): i for i, a in enumerate(asns)}
+        observer = int(observer_asn)
+        if observer not in index:
+            raise KeyError(f"observer ASN {observer} not in registry")
+        on_path = np.zeros((n, n), dtype=bool)
+        pred = np.full((n, n), -1, dtype=np.int64)
+        for j, dst in enumerate(asns.tolist()):
+            routes = topo._routes_to(dst)
+            if observer in routes and observer != dst:
+                # Observer-sourced flows: the handover "peer" is the next
+                # AS on the observer's own path (the oracle's egress rule).
+                on_path[index[observer], j] = True
+                pred[index[observer], j] = routes[observer].next_hop
+            for src in self._length_order(routes):
+                if src == dst or src == observer:
+                    continue
+                hop = routes[src].next_hop
+                i = index[src]
+                if hop == observer:
+                    on_path[i, j] = True
+                    pred[i, j] = src
+                else:
+                    k = index[hop]
+                    on_path[i, j] = on_path[k, j]
+                    pred[i, j] = pred[k, j]
+        if ingress_only:
+            # Tier-1 trace rule: flows sourced inside the observer's
+            # customer cone (the observer included) are not exported.
+            cone = topo.customer_cone(observer)
+            in_cone = np.fromiter((int(a) in cone for a in asns), dtype=bool, count=n)
+            on_path &= ~in_cone[:, None]
+        visible = on_path
+        peer = np.where(visible, pred, np.int64(-1))
+        self._isp[key] = (visible, peer)
+        return self._isp[key]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        built = ["ixp"] if self._ixp is not None else []
+        built += [f"isp{k}" for k in self._isp]
+        return f"VisibilityMatrix({self._asns.size} ASNs, built={built or 'none'})"

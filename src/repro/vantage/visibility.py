@@ -2,8 +2,13 @@
 
 Decides, for a (src ASN, dst ASN) pair, whether a flow is seen by a given
 observer and which neighbor AS hands it over. Decisions are pure functions
-of the topology's valley-free routing and are memoized per pair, since
-traffic concentrates on few AS pairs.
+of the topology's valley-free routing. Two resolution strategies coexist:
+
+* a lazy memoized oracle (one pair at a time, per-pair path walk), always
+  available and the authority on correctness;
+* an optional dense :class:`~repro.vantage.matrix.VisibilityMatrix` fast
+  path that resolves whole flow tables with fancy indexing, falling back
+  to the oracle for out-of-registry ASNs (e.g. ``-1`` unknowns).
 """
 
 from __future__ import annotations
@@ -14,6 +19,8 @@ from functools import lru_cache
 import numpy as np
 
 from repro.netmodel.topology import ASTopology
+from repro.obs import metrics
+from repro.vantage.matrix import VisibilityMatrix
 
 __all__ = ["Visibility", "FlowVisibility"]
 
@@ -33,10 +40,20 @@ class Visibility:
 
 
 class FlowVisibility:
-    """Visibility oracle for one topology."""
+    """Visibility oracle for one topology.
 
-    def __init__(self, topology: ASTopology) -> None:
+    With ``matrix`` set (how :class:`~repro.scenario.scenario.Scenario`
+    constructs it), the vectorized mask methods resolve registry AS pairs
+    by fancy indexing into the precomputed tables and only consult the
+    lazy per-pair oracle for ASNs outside the registry. The
+    ``visibility.matrix_hits`` / ``visibility.fallback_lookups`` counters
+    record the split so profiles expose a topology that silently bypasses
+    the matrix.
+    """
+
+    def __init__(self, topology: ASTopology, matrix: VisibilityMatrix | None = None) -> None:
         self.topology = topology
+        self.matrix = matrix
         self._ixp_cached = lru_cache(maxsize=1 << 18)(self._ixp_visibility)
         self._isp_cached = lru_cache(maxsize=1 << 18)(self._isp_visibility)
 
@@ -100,9 +117,23 @@ class FlowVisibility:
 
     # -- vectorized helpers --------------------------------------------------------
 
-    def ixp_mask(self, src_asns: np.ndarray, dst_asns: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Vectorized :meth:`at_ixp` -> (visible mask, peer ASN array)."""
-        return self._mask(src_asns, dst_asns, self.at_ixp)
+    def ixp_mask(
+        self,
+        src_asns: np.ndarray,
+        dst_asns: np.ndarray,
+        pair_index: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`at_ixp` -> (visible mask, peer ASN array).
+
+        ``pair_index`` optionally carries precomputed matrix indices for
+        the same ASN arrays (from ``matrix.pair_index``), so repeated
+        observations of one day table share the resolution work.
+        """
+        if self.matrix is None:
+            return self._mask(src_asns, dst_asns, self.at_ixp)
+        return self._matrix_mask(
+            src_asns, dst_asns, self.matrix.ixp_tables(), self.at_ixp, pair_index
+        )
 
     def isp_mask(
         self,
@@ -110,13 +141,62 @@ class FlowVisibility:
         src_asns: np.ndarray,
         dst_asns: np.ndarray,
         ingress_only: bool,
+        pair_index: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Vectorized :meth:`at_isp` -> (visible mask, peer ASN array)."""
 
         def check(src: int, dst: int) -> Visibility:
             return self.at_isp(observer_asn, src, dst, ingress_only)
 
+        if self.matrix is not None:
+            try:
+                tables = self.matrix.isp_tables(observer_asn, ingress_only)
+            except KeyError:
+                tables = None  # observer outside the registry: oracle only
+            if tables is not None:
+                return self._matrix_mask(src_asns, dst_asns, tables, check, pair_index)
         return self._mask(src_asns, dst_asns, check)
+
+    def _matrix_mask(
+        self,
+        src_asns: np.ndarray,
+        dst_asns: np.ndarray,
+        tables: tuple[np.ndarray, np.ndarray],
+        check,
+        pair_index: tuple[np.ndarray, np.ndarray] | None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fancy-index registry pairs; route the rest through the oracle."""
+        src_asns = np.asarray(src_asns, dtype=np.int64)
+        dst_asns = np.asarray(dst_asns, dtype=np.int64)
+        if src_asns.shape != dst_asns.shape:
+            raise ValueError("src and dst ASN arrays must align")
+        if pair_index is None:
+            src_idx, dst_idx = self.matrix.pair_index(src_asns, dst_asns)
+        else:
+            src_idx, dst_idx = pair_index
+            if src_idx.shape != src_asns.shape or dst_idx.shape != dst_asns.shape:
+                raise ValueError("pair_index does not match the ASN arrays")
+        visible_table, peer_table = tables
+        known = (src_idx >= 0) & (dst_idx >= 0)
+        if known.all():
+            vis = visible_table[src_idx, dst_idx]
+            peers = peer_table[src_idx, dst_idx]
+            n_fallback = 0
+        else:
+            vis = np.zeros(src_asns.size, dtype=bool)
+            peers = np.full(src_asns.size, -1, dtype=np.int64)
+            vis[known] = visible_table[src_idx[known], dst_idx[known]]
+            peers[known] = peer_table[src_idx[known], dst_idx[known]]
+            unknown = ~known
+            n_fallback = int(unknown.sum())
+            f_vis, f_peers = self._mask(src_asns[unknown], dst_asns[unknown], check)
+            vis[unknown] = f_vis
+            peers[unknown] = f_peers
+        registry = metrics()
+        if registry.enabled:
+            registry.inc("visibility.matrix_hits", int(src_asns.size) - n_fallback)
+            registry.inc("visibility.fallback_lookups", n_fallback)
+        return vis, peers
 
     @staticmethod
     def _mask(src_asns, dst_asns, check) -> tuple[np.ndarray, np.ndarray]:

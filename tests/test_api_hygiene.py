@@ -74,3 +74,77 @@ class TestVersion:
     def test_top_level_exports(self):
         assert repro.Scenario is not None
         assert repro.FlowTable is not None
+
+
+class TestTrustedConstructorGuards:
+    """``FlowTable._from_validated`` skips casting, not misuse detection.
+
+    The trusted path exists for internal call sites (builder, concat,
+    filter) that guarantee schema-exact columns; handing it anything else
+    must fail loudly instead of producing a corrupt table.
+    """
+
+    def _schema_columns(self, n=4):
+        import numpy as np
+
+        from repro.flows.records import SCHEMA
+
+        return {name: np.zeros(n, dtype=dt) for name, dt in SCHEMA.items()}
+
+    def test_accepts_schema_exact_columns(self):
+        from repro.flows.records import FlowTable
+
+        table = FlowTable._from_validated(self._schema_columns())
+        assert len(table) == 4
+
+    def test_rejects_missing_column(self):
+        from repro.flows.records import FlowTable
+
+        cols = self._schema_columns()
+        del cols["peer_asn"]
+        with pytest.raises(ValueError, match="peer_asn"):
+            FlowTable._from_validated(cols)
+
+    def test_rejects_wrong_dtype(self):
+        import numpy as np
+
+        from repro.flows.records import FlowTable
+
+        cols = self._schema_columns()
+        cols["packets"] = cols["packets"].astype(np.int32)
+        with pytest.raises(ValueError, match="packets"):
+            FlowTable._from_validated(cols)
+
+    def test_rejects_misaligned_lengths(self):
+        from repro.flows.records import FlowTable
+
+        cols = self._schema_columns()
+        cols["bytes"] = cols["bytes"][:-1]
+        with pytest.raises(ValueError, match="bytes"):
+            FlowTable._from_validated(cols)
+
+    def test_rejects_non_ndarray(self):
+        from repro.flows.records import FlowTable
+
+        cols = self._schema_columns()
+        cols["time"] = list(cols["time"])
+        with pytest.raises(ValueError, match="time"):
+            FlowTable._from_validated(cols)
+
+    def test_rejects_extra_column(self):
+        import numpy as np
+
+        from repro.flows.records import FlowTable
+
+        cols = self._schema_columns()
+        cols["ttl"] = np.zeros(4)
+        with pytest.raises(ValueError, match="unknown"):
+            FlowTable._from_validated(cols)
+
+    def test_rejects_2d_column(self):
+        from repro.flows.records import FlowTable
+
+        cols = self._schema_columns(4)
+        cols["time"] = cols["time"].reshape(2, 2)
+        with pytest.raises(ValueError, match="time"):
+            FlowTable._from_validated(cols)

@@ -1,0 +1,126 @@
+"""FlowTableBuilder: bit-identity with the concat path, validation, snapshots."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flows.builder import FlowTableBuilder
+from repro.flows.records import SCHEMA, FlowTable
+
+
+def _block(rng: np.random.Generator, n: int, with_asns: bool) -> dict:
+    block = {
+        "time": rng.uniform(0.0, 86_400.0, n),
+        "src_ip": rng.integers(0, 1 << 32, n, dtype=np.uint32),
+        "dst_ip": rng.integers(0, 1 << 32, n, dtype=np.uint32),
+        "proto": np.full(n, 17, dtype=np.uint8),
+        "src_port": rng.integers(0, 1 << 16, n, dtype=np.uint16),
+        "dst_port": rng.integers(0, 1 << 16, n, dtype=np.uint16),
+        "packets": rng.integers(1, 10_000, n),
+        "bytes": rng.integers(64, 10_000_000, n),
+    }
+    if with_asns:
+        block["src_asn"] = rng.integers(-1, 500, n)
+        block["dst_asn"] = rng.integers(-1, 500, n)
+    return block
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    sizes=st.lists(st.integers(min_value=0, max_value=200), max_size=8),
+    capacity=st.sampled_from([0, 1, 7, 4096]),
+)
+def test_builder_bit_identical_to_concat(seed, sizes, capacity):
+    """Appending blocks == building one table per block and concatenating."""
+    rng = np.random.default_rng(seed)
+    blocks = [_block(rng, n, with_asns=(i % 2 == 0)) for i, n in enumerate(sizes)]
+    builder = FlowTableBuilder(capacity=capacity)
+    for block in blocks:
+        assert builder.add_block(block) is builder
+    built = builder.build()
+    reference = FlowTable.concat([FlowTable(b) for b in blocks])
+    assert len(built) == len(builder) == len(reference)
+    for name, dtype in SCHEMA.items():
+        assert built[name].dtype == dtype
+        np.testing.assert_array_equal(built[name], reference[name], err_msg=name)
+
+
+class TestValidation:
+    def _good(self, n=3):
+        return _block(np.random.default_rng(0), n, with_asns=True)
+
+    def test_missing_required_column(self):
+        block = self._good()
+        del block["packets"]
+        with pytest.raises(ValueError, match="missing columns"):
+            FlowTableBuilder().add_block(block)
+
+    def test_unknown_column(self):
+        block = self._good()
+        block["ttl"] = np.zeros(3)
+        with pytest.raises(ValueError, match="unknown columns"):
+            FlowTableBuilder().add_block(block)
+
+    def test_misaligned_lengths(self):
+        block = self._good()
+        block["bytes"] = block["bytes"][:-1]
+        with pytest.raises(ValueError, match="rows, expected"):
+            FlowTableBuilder().add_block(block)
+
+    def test_non_1d_column(self):
+        block = self._good(4)
+        block["time"] = block["time"].reshape(2, 2)
+        with pytest.raises(ValueError, match="1-D"):
+            FlowTableBuilder().add_block(block)
+
+    def test_negative_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            FlowTableBuilder(capacity=-1)
+
+    def test_omitted_asn_columns_default(self):
+        built = FlowTableBuilder().add_block(_block(np.random.default_rng(1), 5, False)).build()
+        assert (built["src_asn"] == -1).all()
+        assert (built["dst_asn"] == -1).all()
+        assert (built["peer_asn"] == -1).all()
+
+
+class TestSemantics:
+    def test_empty_build(self):
+        built = FlowTableBuilder().build()
+        assert len(built) == 0
+        for name, dtype in SCHEMA.items():
+            assert built[name].dtype == dtype
+
+    def test_empty_block_is_noop(self):
+        builder = FlowTableBuilder()
+        builder.add_block(_block(np.random.default_rng(2), 0, True))
+        assert len(builder) == 0
+
+    def test_add_table_round_trip(self):
+        table = FlowTable(_block(np.random.default_rng(3), 17, True))
+        built = FlowTableBuilder().add_table(table).build()
+        for name in SCHEMA:
+            np.testing.assert_array_equal(built[name], table[name])
+
+    def test_build_snapshots_do_not_alias(self):
+        """Building twice must not let later appends mutate the first table."""
+        rng = np.random.default_rng(4)
+        builder = FlowTableBuilder()
+        builder.add_block(_block(rng, 10, True))
+        first = builder.build()
+        first_times = first["time"].copy()
+        builder.add_block(_block(rng, 1500, True))  # forces regrowth too
+        second = builder.build()
+        np.testing.assert_array_equal(first["time"], first_times)
+        assert len(second) == 1510
+        np.testing.assert_array_equal(second["time"][:10], first_times)
+
+    def test_casts_input_dtypes(self):
+        block = _block(np.random.default_rng(5), 6, True)
+        block["packets"] = block["packets"].astype(np.int32)
+        block["time"] = np.arange(6, dtype=np.int64)
+        built = FlowTableBuilder().add_block(block).build()
+        assert built["packets"].dtype == np.int64
+        assert built["time"].dtype == np.float64

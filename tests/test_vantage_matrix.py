@@ -1,0 +1,169 @@
+"""VisibilityMatrix: parity with the lazy oracle, indexing, invalidation."""
+
+import numpy as np
+import pytest
+
+from repro.netmodel.topology import TopologyConfig, build_topology
+from repro.obs import MetricsRegistry, use_metrics
+from repro.scenario import Scenario, ScenarioConfig
+from repro.stats.rng import SeedSequenceTree
+from repro.vantage.matrix import VisibilityMatrix
+from repro.vantage.visibility import FlowVisibility
+
+
+@pytest.fixture(scope="module")
+def tiny_world():
+    """A full Scenario world (topology + attached observatory AS)."""
+    config = ScenarioConfig(
+        seed=99,
+        scale=0.05,
+        topology=TopologyConfig(n_tier1=3, n_tier2=8, n_stub=30),
+    )
+    return Scenario(config)
+
+
+class TestOracleParity:
+    """The dense tables must be bit-identical to the per-pair oracle."""
+
+    def test_ixp_all_pairs(self, tiny_world):
+        topo = tiny_world.topology
+        matrix = VisibilityMatrix(topo)
+        oracle = FlowVisibility(topo)  # no matrix: pure lazy path
+        visible, peer = matrix.ixp_tables()
+        asns = matrix.asns.tolist()
+        for i, src in enumerate(asns):
+            for j, dst in enumerate(asns):
+                verdict = oracle.at_ixp(src, dst)
+                assert visible[i, j] == verdict.visible, (src, dst)
+                assert peer[i, j] == verdict.peer_asn, (src, dst)
+
+    @pytest.mark.parametrize("ingress_only", [True, False])
+    def test_isp_all_pairs(self, tiny_world, ingress_only):
+        topo = tiny_world.topology
+        matrix = VisibilityMatrix(topo)
+        oracle = FlowVisibility(topo)
+        observer = tiny_world.tier1.asn if ingress_only else tiny_world.tier2.asn
+        visible, peer = matrix.isp_tables(observer, ingress_only)
+        asns = matrix.asns.tolist()
+        for i, src in enumerate(asns):
+            for j, dst in enumerate(asns):
+                verdict = oracle.at_isp(observer, src, dst, ingress_only)
+                assert visible[i, j] == verdict.visible, (src, dst)
+                assert peer[i, j] == verdict.peer_asn, (src, dst)
+
+    def test_observatory_as_is_covered(self, tiny_world):
+        """The measurement AS attached post-build must appear in the index."""
+        observatory_asn = tiny_world.config.observatory_asn
+        matrix = tiny_world.visibility.matrix
+        assert matrix is not None
+        idx = matrix.index_of(np.array([observatory_asn]))
+        assert idx[0] >= 0
+
+    def test_unknown_observer_raises(self, tiny_world):
+        matrix = VisibilityMatrix(tiny_world.topology)
+        with pytest.raises(KeyError):
+            matrix.isp_tables(999_999, True)
+
+
+class TestMaskFallback:
+    """Mask methods agree with the oracle when ASNs fall outside the registry."""
+
+    def _pairs_with_unknowns(self, topo):
+        asns = sorted(topo.asns)
+        src = np.array([asns[0], -1, asns[3], asns[5], -1, 999_999], dtype=np.int64)
+        dst = np.array([asns[4], asns[2], -1, asns[1], -1, asns[0]], dtype=np.int64)
+        return src, dst
+
+    def test_ixp_mask_matches_oracle(self, tiny_world):
+        topo = tiny_world.topology
+        with_matrix = FlowVisibility(topo, matrix=VisibilityMatrix(topo))
+        oracle = FlowVisibility(topo)
+        src, dst = self._pairs_with_unknowns(topo)
+        vis_m, peer_m = with_matrix.ixp_mask(src, dst)
+        vis_o, peer_o = oracle.ixp_mask(src, dst)
+        np.testing.assert_array_equal(vis_m, vis_o)
+        np.testing.assert_array_equal(peer_m, peer_o)
+
+    @pytest.mark.parametrize("ingress_only", [True, False])
+    def test_isp_mask_matches_oracle(self, tiny_world, ingress_only):
+        topo = tiny_world.topology
+        with_matrix = FlowVisibility(topo, matrix=VisibilityMatrix(topo))
+        oracle = FlowVisibility(topo)
+        observer = tiny_world.tier1.asn
+        src, dst = self._pairs_with_unknowns(topo)
+        vis_m, peer_m = with_matrix.isp_mask(observer, src, dst, ingress_only)
+        vis_o, peer_o = oracle.isp_mask(observer, src, dst, ingress_only)
+        np.testing.assert_array_equal(vis_m, vis_o)
+        np.testing.assert_array_equal(peer_m, peer_o)
+
+    def test_out_of_registry_observer_uses_oracle(self, tiny_world):
+        topo = tiny_world.topology
+        with_matrix = FlowVisibility(topo, matrix=VisibilityMatrix(topo))
+        oracle = FlowVisibility(topo)
+        src, dst = self._pairs_with_unknowns(topo)
+        vis_m, peer_m = with_matrix.isp_mask(424242, src, dst, False)
+        vis_o, peer_o = oracle.isp_mask(424242, src, dst, False)
+        np.testing.assert_array_equal(vis_m, vis_o)
+        np.testing.assert_array_equal(peer_m, peer_o)
+
+    def test_hit_and_fallback_counters(self, tiny_world):
+        topo = tiny_world.topology
+        with_matrix = FlowVisibility(topo, matrix=VisibilityMatrix(topo))
+        src, dst = self._pairs_with_unknowns(topo)  # 2 fully known, 4 with unknowns
+        with use_metrics(MetricsRegistry()) as registry:
+            with_matrix.ixp_mask(src, dst)
+        assert registry.counter("visibility.matrix_hits") == 2
+        assert registry.counter("visibility.fallback_lookups") == 4
+
+
+class TestIndexing:
+    def test_index_of_unknowns(self, tiny_world):
+        matrix = VisibilityMatrix(tiny_world.topology)
+        asns = matrix.asns
+        values = np.array([-1, int(asns[0]), 999_999, int(asns[-1])], dtype=np.int64)
+        idx = matrix.index_of(values)
+        np.testing.assert_array_equal(idx, [-1, 0, -1, asns.size - 1])
+
+    def test_pair_index_alignment_required(self, tiny_world):
+        matrix = VisibilityMatrix(tiny_world.topology)
+        with pytest.raises(ValueError, match="align"):
+            matrix.pair_index(np.zeros(3, dtype=np.int64), np.zeros(2, dtype=np.int64))
+
+    def test_stale_pair_index_rejected(self, tiny_world):
+        topo = tiny_world.topology
+        with_matrix = FlowVisibility(topo, matrix=VisibilityMatrix(topo))
+        asns = with_matrix.matrix.asns
+        src = np.full(5, asns[0], dtype=np.int64)
+        dst = np.full(5, asns[1], dtype=np.int64)
+        bad = with_matrix.matrix.pair_index(src[:3], dst[:3])
+        with pytest.raises(ValueError, match="pair_index"):
+            with_matrix.ixp_mask(src, dst, pair_index=bad)
+
+
+class TestInvalidation:
+    def test_generation_tracks_topology_edits(self):
+        _, topo = build_topology(
+            TopologyConfig(n_tier1=2, n_tier2=4, n_stub=8), SeedSequenceTree(5).child("w")
+        )
+        matrix = VisibilityMatrix(topo)
+        before = matrix.generation
+        matrix.ixp_tables()
+        asns = sorted(topo.asns)
+        topo.add_peering(asns[-1], asns[-2], via_ixp=True)
+        assert matrix.generation > before
+
+    def test_tables_rebuilt_after_edit(self):
+        _, topo = build_topology(
+            TopologyConfig(n_tier1=2, n_tier2=4, n_stub=8), SeedSequenceTree(5).child("w")
+        )
+        matrix = VisibilityMatrix(topo)
+        matrix.ixp_tables()
+        asns = sorted(topo.asns)
+        topo.add_peering(asns[-1], asns[-2], via_ixp=True)
+        oracle = FlowVisibility(topo)
+        visible, peer = matrix.ixp_tables()
+        for i, src in enumerate(matrix.asns.tolist()):
+            for j, dst in enumerate(matrix.asns.tolist()):
+                verdict = oracle.at_ixp(src, dst)
+                assert visible[i, j] == verdict.visible, (src, dst)
+                assert peer[i, j] == verdict.peer_asn, (src, dst)
