@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.booter.takedown import TakedownScenario
 from repro.flows.records import FlowTable, SCHEMA
+from repro.flows.shm import transport_threshold, unwrap_table, wrap_table
 from repro.obs import MetricsRegistry, TraceRecorder, metrics, set_metrics
 from repro.scenario.config import ScenarioConfig
 from repro.scenario.scenario import Scenario
@@ -159,8 +160,15 @@ def resolve_jobs(jobs: int | None) -> int:
     return jobs
 
 
+def _shm_task(fn: Callable[[Any], Any], threshold: int, item: Any) -> Any:
+    """Worker wrapper: run ``fn`` and park a large flow-table result in
+    shared memory (see :mod:`repro.flows.shm`); small or non-table
+    results pass through to the ordinary pickle lane."""
+    return wrap_table(fn(item), threshold)
+
+
 def _metered_call(
-    fn: Callable[[Any], Any], item: Any, trace: bool = False
+    fn: Callable[[Any], Any], item: Any, trace: bool = False, shm_threshold: int = -1
 ) -> tuple[Any, MetricsRegistry]:
     """Run one pool task under a fresh worker registry and ship it back.
 
@@ -170,12 +178,14 @@ def _metered_call(
     is double counted; the parent folds the returned registry in. With
     ``trace`` the worker also buffers span events (pid-stamped), which
     merge back into the parent's recorder exactly like the metrics.
+    Large flow-table results detour through shared memory when
+    ``shm_threshold`` allows (negative disables the lane).
     """
     registry = MetricsRegistry(enabled=True, trace=TraceRecorder() if trace else None)
     previous = set_metrics(registry)
     start = time.perf_counter()
     try:
-        result = fn(item)
+        result = wrap_table(fn(item), shm_threshold)
     finally:
         registry.inc("pool.busy_s", time.perf_counter() - start)
         set_metrics(previous)
@@ -212,11 +222,15 @@ def _pool_map_with_deltas(
             out.append((result, _counters_delta(registry, before)))
         return out
     workers = min(jobs, len(items))
+    threshold = transport_threshold()
     if not registry.enabled:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return [(result, None) for result in pool.map(fn, items)]
+            raw_results = list(pool.map(partial(_shm_task, fn, threshold), items))
+        return [(unwrap_table(result), None) for result in raw_results]
     start = time.perf_counter()
-    task = partial(_metered_call, fn, trace=registry.trace is not None)
+    task = partial(
+        _metered_call, fn, trace=registry.trace is not None, shm_threshold=threshold
+    )
     with ProcessPoolExecutor(max_workers=workers) as pool:
         raw = list(pool.map(task, items))
     wall = time.perf_counter() - start
@@ -227,6 +241,7 @@ def _pool_map_with_deltas(
     results = []
     for result, worker_registry in raw:
         registry.merge(worker_registry)
+        result = unwrap_table(result)
         deltas = {
             name: value
             for name, value in worker_registry.counters.items()
@@ -323,6 +338,12 @@ class DayResultCache:
     Every lookup and insert also feeds the active metrics registry
     (``cache.hits`` / ``cache.misses`` / ``cache.evictions`` /
     ``cache.bytes_stored`` and the ``cache.resident_bytes`` gauge).
+
+    An optional durable tier (:class:`repro.core.diskcache.DiskDayCache`)
+    can be attached with :meth:`attach_disk`: memory misses then consult
+    the disk store (a hit is promoted back into memory without being
+    rewritten to disk), and inserts write through. Flow tables evicted
+    from the memory LRU remain reachable on disk.
     """
 
     def __init__(self, max_entries: int = 4096) -> None:
@@ -331,18 +352,38 @@ class DayResultCache:
         self.max_entries = max_entries
         self._data: OrderedDict[tuple, Any] = OrderedDict()
         self._sizes: dict[tuple, int] = {}
+        self.disk = None
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.resident_bytes = 0
 
+    def attach_disk(self, disk: Any | None) -> None:
+        """Attach (or, with ``None``, detach) a durable second tier.
+
+        The disk object only needs the cache protocol: ``get(key)``
+        returning a stored value or ``None``, ``put(key, value)``, and
+        ``stats()``.
+        """
+        self.disk = disk
+
     def get(self, key: tuple) -> Any | None:
-        """The cached value for ``key``, or ``None`` (counts hit/miss)."""
+        """The cached value for ``key``, or ``None`` (counts hit/miss).
+
+        On a memory miss the disk tier (if attached) gets a chance; a
+        disk hit counts as a memory miss *and* a disk hit, and the value
+        is promoted into the memory LRU for subsequent lookups.
+        """
         try:
             value = self._data[key]
         except KeyError:
             self.misses += 1
             metrics().inc("cache.misses")
+            if self.disk is not None:
+                value = self.disk.get(key)
+                if value is not None:
+                    self._insert(key, value, write_disk=False)
+                    return value
             return None
         self._data.move_to_end(key)
         self.hits += 1
@@ -350,7 +391,14 @@ class DayResultCache:
         return value
 
     def put(self, key: tuple, value: Any) -> None:
-        """Insert (or refresh) an entry, evicting the least recently used."""
+        """Insert (or refresh) an entry, evicting the least recently used.
+
+        Writes through to the disk tier when one is attached (the disk
+        store itself declines values it cannot persist exactly).
+        """
+        self._insert(key, value, write_disk=True)
+
+    def _insert(self, key: tuple, value: Any, write_disk: bool) -> None:
         registry = metrics()
         size = _approx_nbytes(value)
         if key in self._sizes:
@@ -369,9 +417,16 @@ class DayResultCache:
             registry.inc("cache.evictions")
         if registry.enabled:
             registry.gauge("cache.resident_bytes", self.resident_bytes)
+        if write_disk and self.disk is not None:
+            self.disk.put(key, value)
 
     def clear(self) -> None:
-        """Drop all entries and reset every counter."""
+        """Drop all in-memory entries and reset every counter.
+
+        The disk tier, if attached, is left untouched — clearing memory
+        is how a disk-warm run proves the durable tier alone can serve
+        the campaign.
+        """
         self._data.clear()
         self._sizes.clear()
         self.hits = 0
@@ -379,15 +434,21 @@ class DayResultCache:
         self.evictions = 0
         self.resident_bytes = 0
 
-    def stats(self) -> dict[str, int]:
-        """Counters for reporting: entries, hits, misses, evictions, bytes."""
-        return {
+    def stats(self) -> dict[str, Any]:
+        """Counters for reporting: entries, hits, misses, evictions, bytes.
+
+        With a disk tier attached, its counters nest under ``"disk"``.
+        """
+        stats: dict[str, Any] = {
             "entries": len(self._data),
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
             "resident_bytes": self.resident_bytes,
         }
+        if self.disk is not None:
+            stats["disk"] = self.disk.stats()
+        return stats
 
     def __len__(self) -> int:
         return len(self._data)

@@ -28,6 +28,14 @@ class ExperimentConfig:
     (0 = all cores; day results are bit-identical for any ``jobs``).
     ``cache`` enables the process-wide day-result cache so experiments
     sharing day ranges reuse each other's per-day work.
+    ``cache_dir`` attaches the persistent on-disk tier
+    (:class:`repro.core.diskcache.DiskDayCache`) under that directory;
+    setting it implies day-caching even without ``cache`` — see the
+    :attr:`use_cache` property, which experiments consult instead of
+    reading ``cache`` directly.
+    ``shm_threshold`` overrides the byte threshold above which pool
+    results travel via shared memory (``None`` keeps the module
+    default; negative disables the shm lane).
     ``metrics_out`` asks the runner to record pipeline metrics and write
     them to this path as stable-schema JSON (``--metrics-out``); it does
     not change any result, only observability.
@@ -37,6 +45,8 @@ class ExperimentConfig:
     seed: int = 2018
     jobs: int = 1
     cache: bool = False
+    cache_dir: str | None = None
+    shm_threshold: int | None = None
     metrics_out: str | None = None
 
     def __post_init__(self) -> None:
@@ -44,6 +54,16 @@ class ExperimentConfig:
             raise ValueError(f"unknown preset {self.preset!r}")
         if self.jobs < 0:
             raise ValueError(f"jobs must be >= 0 (0 = all cores), got {self.jobs}")
+
+    @property
+    def use_cache(self) -> bool:
+        """Whether experiments should route days through the cache.
+
+        True when in-memory caching was requested explicitly *or* a disk
+        cache directory is configured (a disk tier is useless if day
+        results never enter the cache path).
+        """
+        return self.cache or self.cache_dir is not None
 
     def scenario_config(self) -> ScenarioConfig:
         if self.preset == "paper":

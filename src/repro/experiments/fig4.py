@@ -53,7 +53,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             list(SELECTORS.values()),
             day_range=day_range,
             jobs=config.jobs,
-            cache=config.cache,
+            cache=config.use_cache,
         )
         for name in SELECTORS:
             key = f"{name}@{vantage}"

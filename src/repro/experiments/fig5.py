@@ -42,7 +42,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         analyzer,
         day_range=day_range,
         jobs=config.jobs,
-        cache=config.cache,
+        cache=config.use_cache,
     )
     start, end = day_range
     daily = analyzer.daily_attack_counts()[start:end].astype(float)

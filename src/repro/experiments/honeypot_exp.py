@@ -32,7 +32,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
     events = [
         e
         for day in _DAYS
-        for e in day_events(scenario, day, cache=config.cache)
+        for e in day_events(scenario, day, cache=config.use_cache)
         if e.vector == "ntp"
     ]
     sizes = [5, 20, 60, 200, len(pool) // 2]

@@ -7,6 +7,7 @@ Usage::
     repro-experiments all --jobs 4         # day-parallel (bit-identical)
     repro-experiments fig1a fig1b --seed 7
     repro-experiments fig4 fig5 --no-cache # disable the day-result cache
+    repro-experiments all --cache-dir .day-cache   # persistent disk tier
     repro-experiments all --jobs 2 --metrics-out metrics.json
     repro-experiments fig4 --profile       # per-stage profile table only
     repro-experiments fig4 --jobs 4 --trace-out trace.json   # Perfetto
@@ -26,8 +27,10 @@ import logging
 import sys
 import time
 
+from repro.core.diskcache import DEFAULT_MAX_BYTES, DiskDayCache
 from repro.core.parallel import day_cache
 from repro.experiments.base import ExperimentConfig
+from repro.flows.shm import set_transport_threshold
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.logutil import LOG_LEVELS, configure_cli_logging
 from repro.obs import (
@@ -72,6 +75,33 @@ def _parser() -> argparse.ArgumentParser:
         action=argparse.BooleanOptionalAction,
         default=True,
         help="reuse per-day results across experiments in this run",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        dest="cache_dir",
+        metavar="PATH",
+        help="persist day flow tables under PATH (binio records + JSON "
+        "sidecars) so a rerun of the same config is served from disk; "
+        "entries are keyed by the scenario content hash, so config or "
+        "seed changes invalidate automatically",
+    )
+    parser.add_argument(
+        "--cache-max-bytes",
+        dest="cache_max_bytes",
+        type=int,
+        default=DEFAULT_MAX_BYTES,
+        help="byte budget for --cache-dir before least-recently-used "
+        "entries are evicted (default: 2 GiB)",
+    )
+    parser.add_argument(
+        "--shm-threshold",
+        dest="shm_threshold",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="pool results at least this many payload bytes travel via "
+        "shared memory instead of the result pipe (default: 1 MiB; "
+        "negative disables the shm lane)",
     )
     parser.add_argument(
         "--metrics-out",
@@ -129,8 +159,41 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         jobs=args.jobs,
         cache=args.cache,
+        cache_dir=args.cache_dir,
+        shm_threshold=args.shm_threshold,
         metrics_out=args.metrics_out,
     )
+    disk = None
+    if args.cache_dir:
+        disk = DiskDayCache(args.cache_dir, max_bytes=args.cache_max_bytes)
+        day_cache().attach_disk(disk)
+        _log.info(
+            "disk cache attached at %s (%d entries, %.1f MB resident)",
+            disk.root,
+            len(disk),
+            disk.resident_bytes / 1e6,
+        )
+    previous_threshold = set_transport_threshold(args.shm_threshold)
+    if args.shm_threshold is None:
+        set_transport_threshold(previous_threshold)
+    try:
+        return _run(args, config, ids, disk)
+    finally:
+        # main() is called in-process by tests and notebooks: restore the
+        # global singleton state so one invocation cannot leak its disk
+        # tier or shm threshold into the next.
+        set_transport_threshold(previous_threshold)
+        if disk is not None:
+            day_cache().attach_disk(None)
+
+
+def _run(
+    args: argparse.Namespace,
+    config: ExperimentConfig,
+    ids: list[str],
+    disk: DiskDayCache | None,
+) -> int:
+    """Execute the experiments with globals (disk tier, threshold) attached."""
     # Tracing and the ledger both need the registry recording; profile
     # tables print only when explicitly asked for (or exported).
     record = bool(args.metrics_out or args.profile or args.trace_out or args.ledger)
@@ -166,15 +229,32 @@ def main(argv: list[str] | None = None) -> int:
             print(render_profile(registry, title=f"--- {experiment_id} profile ---"))
             print()
         status = f"[{experiment_id} completed in {elapsed:.1f}s"
-        if args.cache:
+        if config.use_cache:
             after = day_cache().stats()
             status += (
                 f" | day-cache +{after['hits'] - before['hits']} hits"
                 f" / +{after['misses'] - before['misses']} misses"
                 f", {after['entries']} entries"
             )
+            if disk is not None:
+                status += (
+                    f" | disk +{after['disk']['hits'] - before['disk']['hits']} hits"
+                )
         _log.info("%s]", status)
     wall_s = time.perf_counter() - run_start
+    if disk is not None:
+        d = disk.stats()
+        _log.info(
+            "disk cache: %d entries, %d hits / %d misses (%d corrupt), "
+            "%d puts, %.1f MB resident at %s",
+            d["entries"],
+            d["hits"],
+            d["misses"],
+            d["corrupt"],
+            d["puts"],
+            d["resident_bytes"] / 1e6,
+            disk.root,
+        )
     if show_profile:
         print(render_profile(total_registry, title="=== run profile (all experiments) ==="))
         print()
@@ -184,6 +264,8 @@ def main(argv: list[str] | None = None) -> int:
         "seed": args.seed,
         "jobs": args.jobs,
         "cache": args.cache,
+        "cache_dir": args.cache_dir,
+        "shm_threshold": args.shm_threshold,
         "experiments": ids,
         "wall_s": round(wall_s, 4),
     }

@@ -30,7 +30,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
     """Attack-per-victim distribution and per-AS-role victimization."""
     scenario = build_scenario(config)
     events = [
-        e for day in _DAYS for e in day_events(scenario, day, cache=config.cache)
+        e for day in _DAYS for e in day_events(scenario, day, cache=config.use_cache)
     ]
     victims = np.array([e.victim_ip for e in events], dtype=np.uint64)
     unique, counts = np.unique(victims, return_counts=True)
@@ -56,7 +56,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
     # (anonymized vantage exports cannot be resolved back to ASes).
     ground_truth = FlowTable.concat(
         day_attack_tables(
-            scenario, list(_DAYS)[:3], jobs=config.jobs, cache=config.cache
+            scenario, list(_DAYS)[:3], jobs=config.jobs, cache=config.use_cache
         )
     )
     report = victim_report(ground_truth)

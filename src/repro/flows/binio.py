@@ -4,15 +4,21 @@ CSV is convenient but bulky; real collectors store fixed-size binary
 records. This module defines a compact little-endian on-disk format in
 the spirit of NetFlow v5 export packets:
 
-* an 16-byte header: magic ``b"RFL1"``, record count (u32), and a
+* a 16-byte header: magic ``b"RFL1"``, record count (u32), and a
   reserved area;
-* one 44-byte record per flow: time (f64), src/dst IP (u32), packets and
-  bytes (u64... see layout below), ports (u16), proto (u8), and the AS
-  annotations (i32, clamped — NetFlow's AS fields are 16/32-bit too).
+* one 50-byte record per flow — the shared :data:`RECORD_DTYPE` layout
+  from :mod:`repro.flows.records`: time (f64), src/dst IP (u32),
+  packets and bytes (u64 reinterpretations of the schema's i64), ports
+  (u16), proto (u8) plus one pad byte, and the AS annotations (i32,
+  clamped — NetFlow's AS fields are 16/32-bit too).
 
 Reading validates the magic, the declared record count, and truncation.
 Round-trips are exact for all values within field ranges (the FlowTable
 schema guarantees IPs/ports/proto fit; AS numbers are stored as i32).
+The same header + records framing backs the on-disk day cache
+(:mod:`repro.core.diskcache`) and the shared-memory transport
+(:mod:`repro.flows.shm`), so a flow file is literally a dump of the
+zero-copy result plane.
 """
 
 from __future__ import annotations
@@ -22,34 +28,18 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.flows.records import FlowTable
+from repro.flows.records import RECORD_DTYPE, FlowTable
 
-__all__ = ["write_flows_binary", "read_flows_binary", "MAGIC"]
+__all__ = ["write_flows_binary", "read_flows_binary", "MAGIC", "HEADER", "RECORD_DTYPE"]
 
 MAGIC = b"RFL1"
-_HEADER = struct.Struct("<4sI8x")  # magic, record count, reserved
 
-# One record: time f64, src u32, dst u32, packets u64, bytes u64,
-# src_port u16, dst_port u16, proto u8, pad u8(x1), src_asn i32,
-# dst_asn i32, peer_asn i32 -- little-endian, 46 bytes packed.
-_RECORD_DTYPE = np.dtype(
-    [
-        ("time", "<f8"),
-        ("src_ip", "<u4"),
-        ("dst_ip", "<u4"),
-        ("packets", "<u8"),
-        ("bytes", "<u8"),
-        ("src_port", "<u2"),
-        ("dst_port", "<u2"),
-        ("proto", "u1"),
-        ("_pad", "u1"),
-        ("src_asn", "<i4"),
-        ("dst_asn", "<i4"),
-        ("peer_asn", "<i4"),
-    ]
-)
+#: File/segment header: magic, record count (u32), 8 reserved bytes.
+HEADER = struct.Struct("<4sI8x")
 
-_ASN_MAX = 2**31 - 1
+# Backwards-compatible private aliases (earlier PRs referenced these).
+_HEADER = HEADER
+_RECORD_DTYPE = RECORD_DTYPE
 
 
 def write_flows_binary(table: FlowTable, path: str | Path) -> int:
@@ -59,54 +49,28 @@ def write_flows_binary(table: FlowTable, path: str | Path) -> int:
     truncate them the same way).
     """
     path = Path(path)
-    n = len(table)
-    records = np.empty(n, dtype=_RECORD_DTYPE)
-    records["time"] = table["time"]
-    records["src_ip"] = table["src_ip"]
-    records["dst_ip"] = table["dst_ip"]
-    records["packets"] = table["packets"].astype(np.uint64)
-    records["bytes"] = table["bytes"].astype(np.uint64)
-    records["src_port"] = table["src_port"]
-    records["dst_port"] = table["dst_port"]
-    records["proto"] = table["proto"]
-    records["_pad"] = 0
-    for field in ("src_asn", "dst_asn", "peer_asn"):
-        records[field] = np.clip(table[field], -_ASN_MAX - 1, _ASN_MAX).astype(np.int32)
+    records = table.to_structured(clamp_asn=True)
     with path.open("wb") as fh:
-        fh.write(_HEADER.pack(MAGIC, n))
+        fh.write(HEADER.pack(MAGIC, len(records)))
         fh.write(records.tobytes())
-    return n
+    return len(records)
 
 
 def read_flows_binary(path: str | Path) -> FlowTable:
     """Read a binary flow file written by :func:`write_flows_binary`."""
     path = Path(path)
     raw = path.read_bytes()
-    if len(raw) < _HEADER.size:
+    if len(raw) < HEADER.size:
         raise ValueError(f"{path} is too short to be a flow file")
-    magic, count = _HEADER.unpack_from(raw)
+    magic, count = HEADER.unpack_from(raw)
     if magic != MAGIC:
         raise ValueError(f"{path} has bad magic {magic!r} (expected {MAGIC!r})")
-    body = raw[_HEADER.size :]
-    expected = count * _RECORD_DTYPE.itemsize
+    body = raw[HEADER.size :]
+    expected = count * RECORD_DTYPE.itemsize
     if len(body) != expected:
         raise ValueError(
             f"{path} is truncated or padded: header declares {count} records "
             f"({expected} bytes), found {len(body)} bytes"
         )
-    records = np.frombuffer(body, dtype=_RECORD_DTYPE)
-    return FlowTable(
-        {
-            "time": records["time"],
-            "src_ip": records["src_ip"],
-            "dst_ip": records["dst_ip"],
-            "proto": records["proto"],
-            "src_port": records["src_port"],
-            "dst_port": records["dst_port"],
-            "packets": records["packets"].astype(np.int64),
-            "bytes": records["bytes"].astype(np.int64),
-            "src_asn": records["src_asn"].astype(np.int64),
-            "dst_asn": records["dst_asn"].astype(np.int64),
-            "peer_asn": records["peer_asn"].astype(np.int64),
-        }
-    )
+    records = np.frombuffer(body, dtype=RECORD_DTYPE)
+    return FlowTable.from_structured(records)

@@ -22,6 +22,19 @@ peer_asn  int64       AS handing the flow to the observer (-1 unknown)
 
 ``peer_asn`` models NetFlow's ingress-interface metadata at AS granularity
 — it is how the paper counts "peers handing over attack traffic".
+
+Besides the columnar dict, a table has two single-buffer serializations
+— the zero-copy result plane:
+
+* a contiguous structured array of :data:`RECORD_DTYPE`, the same
+  50-byte packed record the binary file format
+  (:mod:`repro.flows.binio`) writes to disk; the shared-memory
+  transport (:mod:`repro.flows.shm`) and the persistent day cache
+  (:mod:`repro.core.diskcache`) move tables in this interchange layout;
+* a *column plane* (:meth:`FlowTable.to_plane`): the full-width columns
+  laid slab after slab in one byte buffer, exact for every value, which
+  is what pool pickling (:meth:`FlowTable.__reduce__`) ships instead of
+  eleven separately pickled column arrays.
 """
 
 from __future__ import annotations
@@ -31,7 +44,7 @@ from typing import Iterator, Mapping
 
 import numpy as np
 
-__all__ = ["FlowRecord", "FlowTable", "SCHEMA"]
+__all__ = ["FlowRecord", "FlowTable", "PLANE_ROW_BYTES", "RECORD_DTYPE", "SCHEMA"]
 
 SCHEMA: dict[str, np.dtype] = {
     "time": np.dtype(np.float64),
@@ -48,6 +61,38 @@ SCHEMA: dict[str, np.dtype] = {
 }
 
 _DEFAULTS = {"src_asn": -1, "dst_asn": -1, "peer_asn": -1}
+
+#: One packed flow record, little-endian, 50 bytes: the layout shared by
+#: the on-disk binary format, the pickle fast path, and the shared-memory
+#: transport. Counters are stored as u64 (two's-complement reinterpretation
+#: of the schema's i64 — exact for every value); AS numbers are stored as
+#: i32, which covers 4-byte ASNs and the -1 "unknown" sentinel but NOT the
+#: full i64 schema range, so the exact serializers validate the range and
+#: only :func:`repro.flows.binio.write_flows_binary` clamps.
+RECORD_DTYPE = np.dtype(
+    [
+        ("time", "<f8"),
+        ("src_ip", "<u4"),
+        ("dst_ip", "<u4"),
+        ("packets", "<u8"),
+        ("bytes", "<u8"),
+        ("src_port", "<u2"),
+        ("dst_port", "<u2"),
+        ("proto", "u1"),
+        ("_pad", "u1"),
+        ("src_asn", "<i4"),
+        ("dst_asn", "<i4"),
+        ("peer_asn", "<i4"),
+    ]
+)
+
+_ASN_FIELDS = ("src_asn", "dst_asn", "peer_asn")
+_ASN_MIN = -(2**31)
+_ASN_MAX = 2**31 - 1
+
+#: Bytes per row of the column-plane serialization (the full-width schema
+#: columns laid slab-after-slab in one buffer): 61 = 8+4+4+1+2+2+8*5.
+PLANE_ROW_BYTES = sum(dt.itemsize for dt in SCHEMA.values())
 
 
 @dataclass(frozen=True)
@@ -151,6 +196,140 @@ class FlowTable:
         return FlowTable._from_validated(
             {name: np.empty(0, dtype=dt) for name, dt in SCHEMA.items()}
         )
+
+    # -- structured-array serialization ----------------------------------------
+
+    def to_structured(self, clamp_asn: bool = False) -> np.ndarray:
+        """This table as one contiguous :data:`RECORD_DTYPE` structured array.
+
+        The single-buffer form every serializer uses (pickle fast path,
+        shared memory, the binary file format). Counters reinterpret to
+        u64 (exact for all i64 values); AS numbers narrow to i32, which
+        by default raises :class:`ValueError` if any value is outside
+        ``[-2^31, 2^31 - 1]`` so the conversion is always bit-exact.
+        ``clamp_asn=True`` clamps instead — the lossy behaviour of real
+        NetFlow exports, used by the on-disk writer.
+        """
+        cols = self._columns
+        records = np.empty(len(self), dtype=RECORD_DTYPE)
+        records["time"] = cols["time"]
+        records["src_ip"] = cols["src_ip"]
+        records["dst_ip"] = cols["dst_ip"]
+        records["packets"] = cols["packets"].view(np.uint64)
+        records["bytes"] = cols["bytes"].view(np.uint64)
+        records["src_port"] = cols["src_port"]
+        records["dst_port"] = cols["dst_port"]
+        records["proto"] = cols["proto"]
+        records["_pad"] = 0
+        for name in _ASN_FIELDS:
+            col = cols[name]
+            if clamp_asn:
+                records[name] = np.clip(col, _ASN_MIN, _ASN_MAX).astype(np.int32)
+            else:
+                if col.size and (int(col.min()) < _ASN_MIN or int(col.max()) > _ASN_MAX):
+                    raise ValueError(
+                        f"column {name!r} has AS numbers outside the packed "
+                        f"int32 range [{_ASN_MIN}, {_ASN_MAX}]; pass "
+                        f"clamp_asn=True to truncate like a NetFlow export"
+                    )
+                records[name] = col.astype(np.int32)
+        return records
+
+    @classmethod
+    def from_structured(cls, records: np.ndarray, copy: bool = False) -> "FlowTable":
+        """Rebuild a table from a :data:`RECORD_DTYPE` structured array.
+
+        Zero-copy where the layouts agree: time/IP/port/proto columns are
+        strided views into ``records``, and the u64 counters reinterpret
+        in place as i64; only the three i32 AS columns widen (a copy).
+        The views keep ``records`` (and whatever backs it — a shared
+        memory block, an ``np.memmap`` of a cache file) alive, which is
+        exactly what the zero-copy result plane wants. ``copy=True``
+        materializes independent contiguous columns instead.
+        """
+        records = np.asarray(records)
+        if records.dtype != RECORD_DTYPE:
+            raise ValueError(
+                f"expected records of dtype RECORD_DTYPE "
+                f"({RECORD_DTYPE.itemsize} bytes/record), got {records.dtype}"
+            )
+        if records.ndim != 1:
+            raise ValueError("records must be a 1-D structured array")
+        cols = {
+            "time": records["time"],
+            "src_ip": records["src_ip"],
+            "dst_ip": records["dst_ip"],
+            "proto": records["proto"],
+            "src_port": records["src_port"],
+            "dst_port": records["dst_port"],
+            "packets": records["packets"].view(np.int64),
+            "bytes": records["bytes"].view(np.int64),
+            "src_asn": records["src_asn"].astype(np.int64),
+            "dst_asn": records["dst_asn"].astype(np.int64),
+            "peer_asn": records["peer_asn"].astype(np.int64),
+        }
+        if copy:
+            cols = {name: np.ascontiguousarray(arr) for name, arr in cols.items()}
+        return cls._from_validated(cols)
+
+    # -- column-plane serialization ---------------------------------------------
+
+    def to_plane(self) -> np.ndarray:
+        """Serialize to a single contiguous byte buffer of column slabs.
+
+        The eleven schema columns at full width, laid slab after slab in
+        :data:`SCHEMA` order (:data:`PLANE_ROW_BYTES` bytes per row,
+        native byte order). Unlike :meth:`to_structured` this is exact
+        for *every* table — AS numbers stay i64 — and packing is eleven
+        contiguous memcpys instead of eleven strided scatters into the
+        record layout, which is why :meth:`__reduce__` ships this form.
+        The plane is an in-memory/pipe transport format; the portable
+        little-endian record layout for files stays
+        :mod:`repro.flows.binio`.
+        """
+        n = len(self)
+        plane = np.empty(n * PLANE_ROW_BYTES, dtype=np.uint8)
+        offset = 0
+        for name, dtype in SCHEMA.items():
+            nb = dtype.itemsize * n
+            col = self._columns[name]
+            if not col.flags.c_contiguous:
+                col = np.ascontiguousarray(col)
+            plane[offset : offset + nb] = col.view(np.uint8)
+            offset += nb
+        return plane
+
+    @classmethod
+    def from_plane(cls, plane: np.ndarray, n_rows: int) -> "FlowTable":
+        """Rebuild a table from a :meth:`to_plane` buffer — zero-copy.
+
+        Every column is a typed view into ``plane`` at its slab offset;
+        nothing is copied, and the views keep the buffer alive.
+        """
+        plane = np.asarray(plane)
+        if plane.dtype != np.uint8 or plane.ndim != 1:
+            raise ValueError("plane must be a 1-D uint8 array")
+        if n_rows < 0 or plane.size != n_rows * PLANE_ROW_BYTES:
+            raise ValueError(
+                f"plane has {plane.size} bytes, expected "
+                f"{n_rows} rows * {PLANE_ROW_BYTES} bytes/row"
+            )
+        if not plane.flags.c_contiguous:
+            plane = np.ascontiguousarray(plane)
+        cols: dict[str, np.ndarray] = {}
+        offset = 0
+        for name, dtype in SCHEMA.items():
+            nb = dtype.itemsize * n_rows
+            cols[name] = plane[offset : offset + nb].view(dtype)
+            offset += nb
+        return cls._from_validated(cols)
+
+    def __reduce__(self):
+        # Pool transport: collapse pickling to one contiguous byte plane
+        # instead of eleven per-column array pickles. Exact for every
+        # table (full-width columns, no i32 narrowing), packed with
+        # contiguous copies and unpacked as views.
+        return (FlowTable.from_plane, (self.to_plane(), len(self)))
 
     @staticmethod
     def concat(tables) -> "FlowTable":

@@ -17,6 +17,7 @@ from repro.obs.metrics import Histogram, MetricsRegistry, SpanStats
 __all__ = [
     "EXPORT_SCHEMA",
     "cache_hit_rate",
+    "disk_cache_hit_rate",
     "matrix_hit_rate",
     "pool_utilization",
     "render_profile",
@@ -33,6 +34,21 @@ def cache_hit_rate(registry: MetricsRegistry) -> float | None:
     """Day-cache hit rate over the recorded run, or ``None`` if unused."""
     hits = registry.counter("cache.hits")
     misses = registry.counter("cache.misses")
+    total = hits + misses
+    if total == 0:
+        return None
+    return hits / total
+
+
+def disk_cache_hit_rate(registry: MetricsRegistry) -> float | None:
+    """Disk-tier hit rate over the recorded run, or ``None`` if unused.
+
+    Only meaningful when a ``--cache-dir`` is attached; a disk lookup
+    happens on every in-memory miss, so this is the fraction of memory
+    misses the durable tier absorbed.
+    """
+    hits = registry.counter("cache.disk_hits")
+    misses = registry.counter("cache.disk_misses")
     total = hits + misses
     if total == 0:
         return None
@@ -106,6 +122,24 @@ def render_profile(registry: MetricsRegistry, title: str | None = None) -> str:
             f"day-cache hit rate: {hit_rate * 100:.1f}% "
             f"({registry.counter('cache.hits'):.0f}/"
             f"{registry.counter('cache.hits') + registry.counter('cache.misses'):.0f})"
+        )
+    disk_rate = disk_cache_hit_rate(registry)
+    if disk_rate is not None:
+        corrupt = registry.counter("cache.disk_corrupt")
+        corrupt_note = f", {corrupt:.0f} corrupt" if corrupt else ""
+        summary.append(
+            f"disk-cache hit rate: {disk_rate * 100:.1f}% "
+            f"({registry.counter('cache.disk_hits'):.0f}/"
+            f"{registry.counter('cache.disk_hits') + registry.counter('cache.disk_misses'):.0f}"
+            f"{corrupt_note})"
+        )
+    shm_bytes = registry.counter("shm.bytes")
+    pipe_bytes = registry.counter("pool.pipe_bytes")
+    if shm_bytes or pipe_bytes:
+        summary.append(
+            f"result transport: {shm_bytes / 1e6:.1f} MB shm "
+            f"({registry.counter('shm.blocks'):.0f} blocks) / "
+            f"{pipe_bytes / 1e6:.1f} MB pipe"
         )
     visibility_rate = matrix_hit_rate(registry)
     if visibility_rate is not None:

@@ -364,6 +364,24 @@ class TestDayResultCacheEdgeCases:
         with pytest.raises(ValueError, match="positive"):
             DayResultCache(max_entries=0)
 
+    def test_resident_bytes_consistent_after_fill_past_capacity(self):
+        """Accounting regression: filling far past max_entries, with
+        overwrites mixed in, must keep resident_bytes exactly equal to
+        the sum of _approx_nbytes over live entries — and never negative."""
+        from repro.core.parallel import _approx_nbytes
+
+        cache = DayResultCache(max_entries=4)
+        rng = np.random.default_rng(0)
+        for i in range(25):
+            value = np.zeros(int(rng.integers(1, 2000)), dtype=np.uint8)
+            cache.put((i % 7,), value)  # i%7 > max_entries forces evictions
+            assert cache.resident_bytes >= 0
+            expected = sum(_approx_nbytes(v) for v in cache._data.values())
+            assert cache.resident_bytes == expected
+            assert cache.stats()["resident_bytes"] == expected
+        assert cache.evictions > 0
+        assert len(cache) == 4
+
 
 class TestJobsValidation:
     def test_negative_jobs_rejected_with_clear_error(self):
@@ -385,6 +403,116 @@ class TestJobsValidation:
 
         with pytest.raises(ValueError, match="jobs"):
             ExperimentConfig(jobs=-1)
+
+
+class TestShmTransportIntegration:
+    def test_pool_results_via_shm_bit_identical(self, scenario):
+        from repro.flows.shm import set_transport_threshold, shm_available
+
+        if not shm_available():
+            pytest.skip("shared memory unavailable")
+        serial = observed_days(scenario, "ixp", [40, 41, 42], jobs=1)
+        previous = set_transport_threshold(1)  # force every table through shm
+        try:
+            via_shm = observed_days(scenario, "ixp", [40, 41, 42], jobs=2)
+        finally:
+            set_transport_threshold(previous)
+        from repro.flows.records import SCHEMA
+
+        for a, b in zip(serial, via_shm):
+            assert len(a) == len(b)
+            for name in SCHEMA:
+                np.testing.assert_array_equal(a[name], b[name], err_msg=name)
+
+    def test_shm_counters_recorded_under_enabled_registry(self, scenario):
+        from repro.flows.shm import set_transport_threshold, shm_available
+        from repro.obs import MetricsRegistry, use_metrics
+
+        if not shm_available():
+            pytest.skip("shared memory unavailable")
+        registry = MetricsRegistry(enabled=True)
+        previous = set_transport_threshold(1)
+        try:
+            with use_metrics(registry):
+                observed_days(scenario, "ixp", [40, 41], jobs=2)
+        finally:
+            set_transport_threshold(previous)
+        assert registry.counter("shm.blocks") == 2
+        assert registry.counter("shm.bytes") > 0
+
+    def test_disabled_lane_uses_pipe(self, scenario):
+        from repro.flows.shm import set_transport_threshold
+        from repro.obs import MetricsRegistry, use_metrics
+
+        registry = MetricsRegistry(enabled=True)
+        previous = set_transport_threshold(-1)
+        try:
+            with use_metrics(registry):
+                observed_days(scenario, "ixp", [40, 41], jobs=2)
+        finally:
+            set_transport_threshold(previous)
+        assert registry.counter("shm.blocks") == 0
+        assert registry.counter("pool.pipe_bytes") > 0
+
+
+class TestDiskTierIntegration:
+    def test_disk_warm_run_bit_identical_with_equal_counters(self, scenario, tmp_path):
+        from repro.core.diskcache import DiskDayCache
+        from repro.flows.records import SCHEMA
+        from repro.obs import MetricsRegistry, use_metrics
+        from repro.obs.runledger import counter_digest
+
+        cache = day_cache()
+        cache.clear()
+        disk = DiskDayCache(tmp_path / "day_cache")
+        cache.attach_disk(disk)
+        try:
+            cold_registry = MetricsRegistry(enabled=True)
+            with use_metrics(cold_registry):
+                cold = observed_days(scenario, "tier2", [40, 41, 42], cache=True)
+            assert disk.puts == 3
+
+            # Simulate a fresh process: memory gone, disk survives.
+            cache.clear()
+            cache.attach_disk(disk)
+            warm_registry = MetricsRegistry(enabled=True)
+            with use_metrics(warm_registry):
+                warm = observed_days(scenario, "tier2", [40, 41, 42], cache=True)
+            assert disk.hits == 3
+
+            for a, b in zip(cold, warm):
+                for name in SCHEMA:
+                    np.testing.assert_array_equal(a[name], b[name], err_msg=name)
+            assert counter_digest(cold_registry.counters) == counter_digest(
+                warm_registry.counters
+            )
+        finally:
+            cache.attach_disk(None)
+            cache.clear()
+
+    def test_ports_reduction_persists_via_json_lane(self, scenario, tmp_path):
+        from repro.core.diskcache import DiskDayCache
+        from repro.core.parallel import daily_port_counts
+
+        cache = day_cache()
+        cache.clear()
+        disk = DiskDayCache(tmp_path / "day_cache")
+        cache.attach_disk(disk)
+        try:
+            cold = daily_port_counts(
+                scenario, "tier2", SELECTORS, [40, 41], jobs=2, cache=True
+            )
+            assert disk.puts >= 2
+            cache.clear()
+            cache.attach_disk(disk)
+            warm = daily_port_counts(
+                scenario, "tier2", SELECTORS, [40, 41], jobs=2, cache=True
+            )
+            assert disk.hits >= 2
+            assert warm == cold
+        finally:
+            cache.attach_disk(None)
+            cache.clear()
 
 
 class TestPerDayHook:

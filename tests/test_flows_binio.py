@@ -5,7 +5,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.flows.binio import MAGIC, read_flows_binary, write_flows_binary
+from repro.flows.binio import (
+    HEADER,
+    MAGIC,
+    RECORD_DTYPE,
+    read_flows_binary,
+    write_flows_binary,
+)
 from repro.flows.io import write_flows_csv
 from repro.flows.records import SCHEMA, FlowTable
 
@@ -59,6 +65,40 @@ class TestRoundtrip:
         write_flows_binary(table, path)
         assert read_flows_binary(path)["src_asn"][0] == 2**31 - 1
 
+    def test_asn_clamping_both_bounds(self, tmp_path):
+        """Clamping saturates at both edges of the signed 32-bit range."""
+        table = random_table(4).with_columns(
+            dst_asn=np.array([2**31, -(2**31) - 1, 2**31 - 1, -(2**31)])
+        )
+        path = tmp_path / "cb.bin"
+        write_flows_binary(table, path)
+        np.testing.assert_array_equal(
+            read_flows_binary(path)["dst_asn"],
+            [2**31 - 1, -(2**31), 2**31 - 1, -(2**31)],
+        )
+
+    def test_empty_table_roundtrip_file_is_header_only(self, tmp_path):
+        path = tmp_path / "e.bin"
+        assert write_flows_binary(FlowTable.empty(), path) == 0
+        assert path.stat().st_size == HEADER.size
+        back = read_flows_binary(path)
+        assert len(back) == 0
+        for name in SCHEMA:
+            assert back[name].dtype == np.dtype(SCHEMA[name]), name
+
+
+class TestFormatConstants:
+    def test_record_itemsize_matches_docs(self):
+        # The module docstring promises a 50-byte packed record and a
+        # 16-byte header; this pin keeps the docs from rotting again.
+        assert RECORD_DTYPE.itemsize == 50
+        assert HEADER.size == 16
+
+    def test_file_size_is_header_plus_records(self, tmp_path):
+        path = tmp_path / "s.bin"
+        write_flows_binary(random_table(7), path)
+        assert path.stat().st_size == HEADER.size + 7 * RECORD_DTYPE.itemsize
+
 
 class TestValidation:
     def test_bad_magic(self, tmp_path):
@@ -79,4 +119,34 @@ class TestValidation:
         path = tmp_path / "tiny.bin"
         path.write_bytes(b"RF")
         with pytest.raises(ValueError, match="too short"):
+            read_flows_binary(path)
+
+    def test_flipped_magic_byte(self, tmp_path):
+        """Bytes-level corruption of the magic is rejected, not misread."""
+        path = tmp_path / "flip.bin"
+        write_flows_binary(random_table(5), path)
+        data = bytearray(path.read_bytes())
+        data[2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(ValueError, match="magic"):
+            read_flows_binary(path)
+
+    def test_truncated_mid_record(self, tmp_path):
+        """A cut anywhere inside the body — not just on a record
+        boundary — is detected from the declared count."""
+        path = tmp_path / "mid.bin"
+        write_flows_binary(random_table(3), path)
+        data = path.read_bytes()
+        path.write_bytes(data[: HEADER.size + RECORD_DTYPE.itemsize + 17])
+        with pytest.raises(ValueError, match="truncated"):
+            read_flows_binary(path)
+
+    def test_inflated_count(self, tmp_path):
+        """A header claiming more records than the body holds is rejected."""
+        path = tmp_path / "inflate.bin"
+        write_flows_binary(random_table(2), path)
+        data = bytearray(path.read_bytes())
+        data[4:8] = (100).to_bytes(4, "little")
+        path.write_bytes(bytes(data))
+        with pytest.raises(ValueError, match="truncated"):
             read_flows_binary(path)

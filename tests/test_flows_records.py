@@ -1,11 +1,19 @@
 """Tests for the columnar FlowTable."""
 
+import pickle
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.flows.records import SCHEMA, FlowRecord, FlowTable
+from repro.flows.records import (
+    PLANE_ROW_BYTES,
+    RECORD_DTYPE,
+    SCHEMA,
+    FlowRecord,
+    FlowTable,
+)
 
 
 def make_table(n=5, **overrides):
@@ -155,6 +163,163 @@ class TestTransformations:
             2, packets=np.array([0, 10], dtype=np.int64), bytes=np.array([0, 100], dtype=np.int64)
         )
         np.testing.assert_allclose(t.mean_packet_sizes(), [0.0, 10.0])
+
+
+def random_table(n, seed=0, asn_high=1 << 30):
+    rng = np.random.default_rng(seed)
+    return FlowTable(
+        {
+            "time": rng.uniform(0, 1e9, n),
+            "src_ip": rng.integers(0, 2**32, n, dtype=np.uint32),
+            "dst_ip": rng.integers(0, 2**32, n, dtype=np.uint32),
+            "proto": rng.integers(0, 256, n).astype(np.uint8),
+            "src_port": rng.integers(0, 65536, n).astype(np.uint16),
+            "dst_port": rng.integers(0, 65536, n).astype(np.uint16),
+            "packets": rng.integers(-(2**62), 2**62, n),
+            "bytes": rng.integers(-(2**62), 2**62, n),
+            "src_asn": rng.integers(-1, asn_high, n),
+            "dst_asn": rng.integers(-1, asn_high, n),
+            "peer_asn": rng.integers(-1, asn_high, n),
+        }
+    )
+
+
+class TestStructuredArray:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 300), st.integers(0, 1000))
+    def test_roundtrip_bit_identical(self, n, seed):
+        t = random_table(n, seed)
+        back = FlowTable.from_structured(t.to_structured())
+        for name in SCHEMA:
+            np.testing.assert_array_equal(t[name], back[name], err_msg=name)
+            assert back[name].dtype == t[name].dtype, name
+
+    def test_views_share_memory_with_records(self):
+        t = random_table(10)
+        records = t.to_structured()
+        back = FlowTable.from_structured(records)
+        for name in ("time", "src_ip", "packets", "bytes", "proto"):
+            assert np.shares_memory(back[name], records), name
+
+    def test_copy_detaches_from_records(self):
+        t = random_table(10)
+        records = t.to_structured()
+        back = FlowTable.from_structured(records, copy=True)
+        for name in SCHEMA:
+            assert not np.shares_memory(back[name], records), name
+            assert back[name].flags["C_CONTIGUOUS"], name
+
+    def test_nan_time_survives(self):
+        t = make_table(2, time=np.array([np.nan, 1.5]))
+        back = FlowTable.from_structured(t.to_structured())
+        assert np.isnan(back["time"][0]) and back["time"][1] == 1.5
+
+    def test_extreme_counters_exact(self):
+        t = make_table(
+            2,
+            packets=np.array([np.iinfo(np.int64).min, np.iinfo(np.int64).max]),
+            bytes=np.array([-1, 2**62]),
+        )
+        back = FlowTable.from_structured(t.to_structured())
+        np.testing.assert_array_equal(back["packets"], t["packets"])
+        np.testing.assert_array_equal(back["bytes"], t["bytes"])
+
+    def test_out_of_range_asn_raises(self):
+        t = make_table(1, src_asn=np.array([2**31]))
+        with pytest.raises(ValueError, match="src_asn"):
+            t.to_structured()
+        t_low = make_table(1, peer_asn=np.array([-(2**31) - 1]))
+        with pytest.raises(ValueError, match="peer_asn"):
+            t_low.to_structured()
+
+    def test_boundary_asn_exact(self):
+        t = make_table(2, src_asn=np.array([-(2**31), 2**31 - 1]))
+        back = FlowTable.from_structured(t.to_structured())
+        np.testing.assert_array_equal(back["src_asn"], [-(2**31), 2**31 - 1])
+
+    def test_clamp_asn_flag(self):
+        t = make_table(2, dst_asn=np.array([2**40, -(2**40)]))
+        records = t.to_structured(clamp_asn=True)
+        np.testing.assert_array_equal(records["dst_asn"], [2**31 - 1, -(2**31)])
+
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(ValueError, match="RECORD_DTYPE"):
+            FlowTable.from_structured(np.zeros(3, dtype=np.float64))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            FlowTable.from_structured(np.zeros((2, 2), dtype=RECORD_DTYPE))
+
+    def test_empty_roundtrip(self):
+        back = FlowTable.from_structured(FlowTable.empty().to_structured())
+        assert len(back) == 0
+
+
+class TestPickleFastPath:
+    def test_pickle_roundtrip_bit_identical(self):
+        t = random_table(50, seed=3)
+        back = pickle.loads(pickle.dumps(t))
+        for name in SCHEMA:
+            np.testing.assert_array_equal(t[name], back[name], err_msg=name)
+            assert back[name].dtype == t[name].dtype, name
+
+    def test_pickle_collapses_to_one_buffer(self):
+        # The plane fast path should cost ~PLANE_ROW_BYTES per row, far
+        # below the per-column pickle's 11 separate array payloads.
+        t = random_table(2000, seed=4)
+        assert len(pickle.dumps(t)) < 1.05 * len(t) * PLANE_ROW_BYTES + 1024
+
+    def test_pickle_exact_for_wide_asns(self):
+        # Full-width plane columns: no i32 narrowing, no fallback needed.
+        t = make_table(3, src_asn=np.array([2**40, -1, 7]))
+        back = pickle.loads(pickle.dumps(t))
+        np.testing.assert_array_equal(back["src_asn"], [2**40, -1, 7])
+        for name in SCHEMA:
+            np.testing.assert_array_equal(t[name], back[name], err_msg=name)
+
+    def test_pickle_empty(self):
+        assert len(pickle.loads(pickle.dumps(FlowTable.empty()))) == 0
+
+
+class TestColumnPlane:
+    def test_plane_roundtrip_bit_identical(self):
+        t = random_table(300, seed=6)
+        back = FlowTable.from_plane(t.to_plane(), len(t))
+        for name in SCHEMA:
+            np.testing.assert_array_equal(t[name], back[name], err_msg=name)
+            assert back[name].dtype == t[name].dtype, name
+
+    def test_plane_size_and_zero_copy_views(self):
+        t = random_table(128, seed=7)
+        plane = t.to_plane()
+        assert plane.dtype == np.uint8
+        assert plane.size == 128 * PLANE_ROW_BYTES
+        back = FlowTable.from_plane(plane, 128)
+        for name in SCHEMA:
+            assert np.shares_memory(back[name], plane), name
+
+    def test_plane_handles_noncontiguous_columns(self):
+        # from_structured tables hold strided views; to_plane must still
+        # pack them (via a contiguous intermediate copy).
+        t = random_table(64, seed=8)
+        strided = FlowTable.from_structured(t.to_structured())
+        assert not strided["time"].flags.c_contiguous
+        back = FlowTable.from_plane(strided.to_plane(), 64)
+        for name in SCHEMA:
+            np.testing.assert_array_equal(t[name], back[name], err_msg=name)
+
+    def test_plane_rejects_wrong_size_and_dtype(self):
+        t = random_table(10, seed=9)
+        plane = t.to_plane()
+        with pytest.raises(ValueError, match="expected"):
+            FlowTable.from_plane(plane, 11)
+        with pytest.raises(ValueError, match="uint8"):
+            FlowTable.from_plane(plane.astype(np.uint16), 10)
+
+    def test_plane_empty(self):
+        plane = FlowTable.empty().to_plane()
+        assert plane.size == 0
+        assert len(FlowTable.from_plane(plane, 0)) == 0
 
 
 class TestAggregates:

@@ -1,0 +1,125 @@
+"""Tests for the shared-memory FlowTable transport."""
+
+import numpy as np
+import pytest
+
+from repro.flows.records import RECORD_DTYPE, SCHEMA, FlowTable
+from repro.flows.shm import (
+    DEFAULT_THRESHOLD_BYTES,
+    ShmTableHandle,
+    set_transport_threshold,
+    shm_available,
+    transport_threshold,
+    unwrap_table,
+    wrap_table,
+)
+from repro.obs import MetricsRegistry, use_metrics
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="multiprocessing.shared_memory unavailable"
+)
+
+
+def make_table(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return FlowTable(
+        {
+            "time": rng.uniform(0, 86400, n),
+            "src_ip": rng.integers(0, 2**32, n, dtype=np.uint32),
+            "dst_ip": rng.integers(0, 2**32, n, dtype=np.uint32),
+            "proto": np.full(n, 17, dtype=np.uint8),
+            "src_port": np.full(n, 123, dtype=np.uint16),
+            "dst_port": rng.integers(1024, 65536, n).astype(np.uint16),
+            "packets": rng.integers(1, 10**6, n),
+            "bytes": rng.integers(64, 10**9, n),
+            "src_asn": rng.integers(-1, 1 << 30, n),
+            "dst_asn": rng.integers(-1, 1 << 30, n),
+            "peer_asn": rng.integers(-1, 1 << 30, n),
+        }
+    )
+
+
+class TestThreshold:
+    def test_default(self):
+        assert transport_threshold() == DEFAULT_THRESHOLD_BYTES
+
+    def test_set_returns_previous_and_none_resets(self):
+        previous = set_transport_threshold(4096)
+        try:
+            assert transport_threshold() == 4096
+            assert set_transport_threshold(None) == 4096
+            assert transport_threshold() == DEFAULT_THRESHOLD_BYTES
+        finally:
+            set_transport_threshold(previous)
+
+    def test_below_threshold_passthrough(self):
+        t = make_table(10)
+        assert wrap_table(t, threshold=10**9) is t
+
+    def test_negative_threshold_disables(self):
+        t = make_table(10)
+        assert wrap_table(t, threshold=-1) is t
+
+    def test_empty_table_passthrough(self):
+        t = FlowTable.empty()
+        assert wrap_table(t, threshold=0) is t
+
+
+class TestWrapUnwrap:
+    def test_roundtrip_bit_identical(self):
+        t = make_table(500, seed=1)
+        handle = wrap_table(t, threshold=0)
+        assert isinstance(handle, ShmTableHandle)
+        assert handle.n_records == 500
+        back = unwrap_table(handle)
+        assert isinstance(back, FlowTable)
+        for name in SCHEMA:
+            np.testing.assert_array_equal(t[name], back[name], err_msg=name)
+            assert back[name].dtype == t[name].dtype, name
+
+    def test_block_unlinked_after_unwrap(self):
+        from multiprocessing import shared_memory
+
+        handle = wrap_table(make_table(100), threshold=0)
+        unwrap_table(handle)
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=handle.name)
+
+    def test_non_table_passthrough(self):
+        for obj in ({"a": 1}, [1, 2], None, 42):
+            assert unwrap_table(wrap_table(obj, threshold=0)) == obj or obj is None
+
+    def test_wide_asn_table_passthrough(self):
+        """Tables the packed layout cannot carry exactly stay on the
+        pickle lane instead of being silently clamped."""
+        t = make_table(100).with_columns(src_asn=np.full(100, 2**40))
+        assert wrap_table(t, threshold=0) is t
+
+    def test_handle_is_small(self):
+        import pickle
+
+        handle = wrap_table(make_table(1000), threshold=0)
+        try:
+            assert len(pickle.dumps(handle)) < 256
+        finally:
+            unwrap_table(handle)
+
+
+class TestMetrics:
+    def test_shm_counters(self):
+        registry = MetricsRegistry(enabled=True)
+        t = make_table(200, seed=2)
+        with use_metrics(registry):
+            unwrap_table(wrap_table(t, threshold=0))
+        assert registry.counter("shm.blocks") == 1
+        assert registry.counter("shm.bytes") == 200 * RECORD_DTYPE.itemsize
+        assert registry.counter("pool.pipe_bytes") == 0
+
+    def test_pipe_counter_for_passthrough_tables(self):
+        registry = MetricsRegistry(enabled=True)
+        t = make_table(30)
+        with use_metrics(registry):
+            back = unwrap_table(wrap_table(t, threshold=10**9))
+        assert back is t
+        assert registry.counter("pool.pipe_bytes") == 30 * RECORD_DTYPE.itemsize
+        assert registry.counter("shm.blocks") == 0
