@@ -94,19 +94,33 @@ def test_perf_streaming_ingest(benchmark, scenario, day_traffic):
     assert analyzer.daily_series("ntp_to")[40] > 0
 
 
-def test_perf_parallel_collect(scenario):
-    """jobs=1 vs jobs=2 day collection: bit-identical, and timed.
+def _append_bench_parallel(payload):
+    out = Path(__file__).parent / "BENCH_parallel.json"
+    history = []
+    if out.exists():
+        previous = json.loads(out.read_text())
+        # Pre-history files held a single dict; fold it in as entry 0.
+        history = previous if isinstance(previous, list) else [previous]
+    history.append(payload)
+    out.write_text(json.dumps(history, indent=2) + "\n")
 
-    Appends one entry to ``benchmarks/BENCH_parallel.json`` (a JSON list,
-    oldest first) with both wall-clock times and the speedup, so the
-    perf trajectory accumulates run over run instead of overwriting —
-    the raw material for spotting regressions across PRs. The speedup
-    assertion only applies with >= 2 CPU cores: on a single-core machine
-    a process pool cannot beat the serial loop (it adds fork + pickle
-    overhead), so the run records the numbers and the parity check
-    instead.
+
+def test_perf_parallel_collect(scenario):
+    """jobs=1 vs warm-pool jobs=2 (process and thread): bit-identical, timed.
+
+    The campaign is a multi-call day collection, so the jobs=2 legs pay
+    one pool spawn and then reuse it — exactly what ``repro-experiments
+    --jobs 2`` does across experiments. Appends one entry to
+    ``benchmarks/BENCH_parallel.json`` (a JSON list, oldest first) with
+    all wall-clock times and speedups, so the perf trajectory
+    accumulates run over run instead of overwriting. The >= 1.7x floor
+    only applies with >= 2 CPU cores: on a single-core machine a worker
+    pool cannot beat the serial loop (it adds dispatch + pickle
+    overhead), so the run records the numbers plus a warning field and
+    the parity check instead.
     """
     from repro.core.pipeline import TrafficSelector, collect_daily_port_series
+    from repro.core.workerpool import shutdown_pool
 
     selectors = [
         TrafficSelector("ntp_to", 123, "to_reflectors"),
@@ -119,39 +133,101 @@ def test_perf_parallel_collect(scenario):
     serial = collect_daily_port_series(scenario, "ixp", selectors, day_range=day_range)
     jobs1_s = time.perf_counter() - start
 
-    start = time.perf_counter()
-    parallel = collect_daily_port_series(
-        scenario, "ixp", selectors, day_range=day_range, jobs=2
-    )
-    jobs2_s = time.perf_counter() - start
-
-    for selector in selectors:
-        np.testing.assert_array_equal(serial.get(selector.name), parallel.get(selector.name))
+    timings = {}
+    for mode in ("process", "thread"):
+        shutdown_pool()
+        start = time.perf_counter()
+        result = collect_daily_port_series(
+            scenario, "ixp", selectors, day_range=day_range, jobs=2, executor=mode
+        )
+        timings[mode] = time.perf_counter() - start
+        for selector in selectors:
+            np.testing.assert_array_equal(
+                serial.get(selector.name), result.get(selector.name)
+            )
+    shutdown_pool()
 
     cores = os.cpu_count() or 1
-    speedup = jobs1_s / jobs2_s if jobs2_s > 0 else float("inf")
+    speedup = jobs1_s / timings["process"] if timings["process"] > 0 else float("inf")
+    thread_speedup = jobs1_s / timings["thread"] if timings["thread"] > 0 else float("inf")
     payload = {
         "benchmark": "parallel_collect_daily_port_series",
         "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "day_range": list(day_range),
         "cpu_count": cores,
         "jobs1_s": round(jobs1_s, 4),
-        "jobs2_s": round(jobs2_s, 4),
+        "jobs2_s": round(timings["process"], 4),
+        "thread2_s": round(timings["thread"], 4),
         "speedup_jobs2": round(speedup, 3),
+        "speedup_thread2": round(thread_speedup, 3),
         "bit_identical": True,
     }
-    out = Path(__file__).parent / "BENCH_parallel.json"
-    history = []
-    if out.exists():
-        previous = json.loads(out.read_text())
-        # Pre-history files held a single dict; fold it in as entry 0.
-        history = previous if isinstance(previous, list) else [previous]
-    history.append(payload)
-    out.write_text(json.dumps(history, indent=2) + "\n")
-    print(f"\nparallel collect: jobs=1 {jobs1_s:.2f}s, jobs=2 {jobs2_s:.2f}s, "
-          f"speedup {speedup:.2f}x on {cores} core(s)")
+    if cores < 2 and max(speedup, thread_speedup) < 1.7:
+        payload["warning"] = (
+            f"best speedup {max(speedup, thread_speedup):.2f}x below the 1.7x "
+            f"floor; assertion skipped on {cores} core(s)"
+        )
+    _append_bench_parallel(payload)
+    print(
+        f"\nparallel collect: jobs=1 {jobs1_s:.2f}s, "
+        f"jobs=2 process {timings['process']:.2f}s ({speedup:.2f}x), "
+        f"thread {timings['thread']:.2f}s ({thread_speedup:.2f}x) "
+        f"on {cores} core(s)"
+    )
     if cores >= 2:
-        assert speedup > 1.3, payload
+        assert max(speedup, thread_speedup) >= 1.7, payload
+
+
+def test_perf_warm_pool_dispatch(scenario):
+    """Warm-pool reuse vs a cold pool per call — measurable on one core.
+
+    The tentpole's claim is that pool spin-up dominated the old per-call
+    executors. Timing is machine-independent in *shape*: a warm dispatch
+    (submit to live workers) must be far cheaper than cold spawn +
+    dispatch + shutdown, regardless of core count. Uses the no-op probe
+    task so only pool mechanics are measured; appends the overhead entry
+    to ``BENCH_parallel.json``.
+    """
+    from repro.core.workerpool import WorkerPool, _probe_task, shutdown_pool
+
+    shutdown_pool()
+    reps = 5
+
+    cold_s = 0.0
+    for _ in range(reps):
+        start = time.perf_counter()
+        pool = WorkerPool("process", 2, scenario.config)
+        pool.map_with_deltas(_probe_task, [0, 1], batch=1)
+        pool.shutdown()
+        cold_s += time.perf_counter() - start
+    cold_s /= reps
+
+    pool = WorkerPool("process", 2, scenario.config)
+    try:
+        pool.map_with_deltas(_probe_task, [0, 1], batch=1)  # warm spawn lazily
+        warm_s = 0.0
+        for _ in range(reps):
+            start = time.perf_counter()
+            pool.map_with_deltas(_probe_task, [0, 1], batch=1)
+            warm_s += time.perf_counter() - start
+        warm_s /= reps
+    finally:
+        pool.shutdown()
+
+    payload = {
+        "benchmark": "warm_pool_dispatch_overhead",
+        "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "cpu_count": os.cpu_count() or 1,
+        "cold_pool_per_call_s": round(cold_s, 5),
+        "warm_dispatch_s": round(warm_s, 5),
+        "dispatch_speedup": round(cold_s / warm_s if warm_s > 0 else float("inf"), 2),
+    }
+    _append_bench_parallel(payload)
+    print(
+        f"\npool dispatch: cold {cold_s * 1e3:.1f} ms/call vs warm "
+        f"{warm_s * 1e3:.2f} ms/call ({cold_s / warm_s:.0f}x)"
+    )
+    assert warm_s < cold_s, payload
 
 
 def test_perf_disabled_metrics_overhead(scenario):

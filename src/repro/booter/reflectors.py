@@ -16,6 +16,7 @@ process:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -184,6 +185,11 @@ class ReflectorSetProcess:
             source.child("drawable").rng().choice(len(pool), size=n_drawable, replace=False)
         )
         self._days: list[np.ndarray] = []
+        # Materialization consumes self._rng sequentially, day by day.
+        # Concurrent day tasks (the thread executor) must extend the
+        # sequence one holder at a time or the draws interleave and the
+        # day sets stop being reproducible.
+        self._lock = threading.Lock()
 
     def _draw_fresh_set(self, rng: np.random.Generator) -> np.ndarray:
         picks = rng.choice(self._drawable, size=self.config.set_size, replace=False)
@@ -193,26 +199,31 @@ class ReflectorSetProcess:
         """Sorted pool indices in use on ``day`` (day 0 = process epoch)."""
         if day < 0:
             raise ValueError("day must be non-negative")
-        while len(self._days) <= day:
-            if not self._days:
-                self._days.append(self._draw_fresh_set(self._rng))
-                continue
-            prev = self._days[-1]
-            if self._rng.random() < self.config.replacement_prob:
-                self._days.append(self._draw_fresh_set(self._rng))
-                continue
-            n_churn = self._rng.binomial(self.config.set_size, self.config.daily_churn)
-            if n_churn == 0:
-                self._days.append(prev)
-                continue
-            keep = self._rng.choice(
-                self.config.set_size, size=self.config.set_size - n_churn, replace=False
-            )
-            kept = prev[np.sort(keep)]
-            candidates = np.setdiff1d(self._drawable, kept, assume_unique=True)
-            fresh = self._rng.choice(candidates, size=n_churn, replace=False)
-            self._days.append(np.sort(np.concatenate([kept, fresh])))
-        return self._days[day]
+        if len(self._days) > day:
+            # Already materialized: append-only, so a lock-free read of a
+            # settled prefix entry is safe.
+            return self._days[day]
+        with self._lock:
+            while len(self._days) <= day:
+                if not self._days:
+                    self._days.append(self._draw_fresh_set(self._rng))
+                    continue
+                prev = self._days[-1]
+                if self._rng.random() < self.config.replacement_prob:
+                    self._days.append(self._draw_fresh_set(self._rng))
+                    continue
+                n_churn = self._rng.binomial(self.config.set_size, self.config.daily_churn)
+                if n_churn == 0:
+                    self._days.append(prev)
+                    continue
+                keep = self._rng.choice(
+                    self.config.set_size, size=self.config.set_size - n_churn, replace=False
+                )
+                kept = prev[np.sort(keep)]
+                candidates = np.setdiff1d(self._drawable, kept, assume_unique=True)
+                fresh = self._rng.choice(candidates, size=n_churn, replace=False)
+                self._days.append(np.sort(np.concatenate([kept, fresh])))
+            return self._days[day]
 
     def ips_for_day(self, day: int) -> np.ndarray:
         return self.pool.ips[self.set_for_day(day)]

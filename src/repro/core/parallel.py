@@ -13,9 +13,14 @@ which order, or in which process. This module exploits that:
 * each worker process reconstructs (or, under ``fork``, inherits) the
   scenario once per config ``content_hash()`` and reuses it for every
   day it executes;
+* day fans dispatch to the **persistent warm pool** owned by
+  :mod:`repro.core.workerpool` — spawned once per (executor, jobs,
+  config) and reused across all call sites, with day batching and,
+  for per-event-seeded scenarios, intra-day event-range sharding;
 * per-day results merge through order-independent reductions — series
   arrays keyed by day, HyperLogLog register max, per-destination
-  max/sum — so ``jobs=1`` and ``jobs=N`` are **bit-identical**.
+  max/sum — so ``jobs=1`` and ``jobs=N`` are **bit-identical** for
+  every executor mode.
 
 :class:`DayResultCache` is a process-wide LRU keyed by
 ``(kind, config content hash, takedown, vantage, day, with_takedown)``.
@@ -30,7 +35,6 @@ import os
 import sys
 import time
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from functools import partial
 from typing import Any, Callable, Iterable, Sequence
@@ -38,11 +42,19 @@ from typing import Any, Callable, Iterable, Sequence
 import numpy as np
 
 from repro.booter.takedown import TakedownScenario
+from repro.core.workerpool import (
+    REPLAY_PREFIX as _REPLAY_PREFIX,
+    WorkerPool,
+    execution_policy,
+    get_pool,
+    record_inline_pool,
+    register_scenario,
+    scenario_for,
+)
 from repro.flows.records import FlowTable, SCHEMA
-from repro.flows.shm import transport_threshold, unwrap_table, wrap_table
-from repro.obs import MetricsRegistry, TraceRecorder, metrics, set_metrics
+from repro.obs import MetricsRegistry, metrics
 from repro.scenario.config import ScenarioConfig
-from repro.scenario.scenario import Scenario
+from repro.scenario.scenario import DayTraffic, Scenario
 
 __all__ = [
     "DaySpec",
@@ -78,35 +90,24 @@ class DaySpec:
     takedown: TakedownScenario | None = None
 
 
-#: Per-process scenario memo, keyed by config content hash. Under the
-#: (Linux-default) fork start method, registering the parent's scenario
-#: before the pool spawns lets every worker inherit the built world for
-#: free instead of re-running topology/pool/market construction.
-_WORKER_SCENARIOS: dict[str, Scenario] = {}
+@dataclass(frozen=True)
+class DayShardSpec:
+    """Picklable recipe for one event-range shard of one scenario-day.
 
-
-def register_scenario(scenario: Scenario) -> str:
-    """Memoize a built scenario for day executors in this process.
-
-    Returns the config content hash used as the memo key. Called in the
-    parent right before a pool is created so fork-children inherit the
-    constructed world; under spawn, workers rebuild from the config.
+    Only valid for scenarios built with ``per_event_seeds=True`` —
+    see :meth:`repro.scenario.scenario.Scenario.day_traffic_shard`.
     """
-    key = scenario.config.content_hash()
-    _WORKER_SCENARIOS[key] = scenario
-    return key
+
+    config: ScenarioConfig
+    day: int
+    with_takedown: bool
+    takedown: TakedownScenario | None
+    shard: int
+    n_shards: int
 
 
-def _scenario_for(config: ScenarioConfig) -> Scenario:
-    key = config.content_hash()
-    scenario = _WORKER_SCENARIOS.get(key)
-    if scenario is None:
-        scenario = _WORKER_SCENARIOS[key] = Scenario(config)
-    return scenario
-
-
-def _materialize(spec: DaySpec) -> Scenario:
-    scenario = _scenario_for(spec.config)
+def _materialize(spec: DaySpec | DayShardSpec) -> Scenario:
+    scenario = scenario_for(spec.config)
     if spec.takedown is not None and scenario.takedown != spec.takedown:
         scenario.takedown = spec.takedown
     return scenario
@@ -139,6 +140,13 @@ def _ingest_chunk_task(chunk: tuple[tuple[DaySpec, ...], Any]) -> Any:
     return analyzer
 
 
+def _day_shard_task(spec: DayShardSpec):
+    scenario = _materialize(spec)
+    return scenario.day_traffic_shard(
+        spec.day, spec.shard, spec.n_shards, with_takedown=spec.with_takedown
+    )
+
+
 # -- the executor -------------------------------------------------------------
 
 
@@ -160,105 +168,127 @@ def resolve_jobs(jobs: int | None) -> int:
     return jobs
 
 
-def _shm_task(fn: Callable[[Any], Any], threshold: int, item: Any) -> Any:
-    """Worker wrapper: run ``fn`` and park a large flow-table result in
-    shared memory (see :mod:`repro.flows.shm`); small or non-table
-    results pass through to the ordinary pickle lane."""
-    return wrap_table(fn(item), threshold)
+def _resolve_executor(executor: str | None) -> str:
+    return executor if executor is not None else execution_policy().executor
 
 
-def _metered_call(
-    fn: Callable[[Any], Any], item: Any, trace: bool = False, shm_threshold: int = -1
-) -> tuple[Any, MetricsRegistry]:
-    """Run one pool task under a fresh worker registry and ship it back.
+def _use_pool(mode: str, n_jobs: int, n_items: int) -> bool:
+    """Whether this fan goes to the warm pool or runs inline.
 
-    Installed by :func:`_pool_map` when the parent's registry is
-    enabled. The fresh registry shadows whatever the worker inherited
-    (under fork, the parent's already-populated registry), so nothing
-    is double counted; the parent folds the returned registry in. With
-    ``trace`` the worker also buffers span events (pid-stamped), which
-    merge back into the parent's recorder exactly like the metrics.
-    Large flow-table results detour through shared memory when
-    ``shm_threshold`` allows (negative disables the lane).
+    Single items stay inline even with ``jobs > 1`` — a warm dispatch
+    is cheap, but the serial path skips pickling entirely and single
+    one-shot lookups should not spawn a pool at all.
     """
-    registry = MetricsRegistry(enabled=True, trace=TraceRecorder() if trace else None)
-    previous = set_metrics(registry)
-    start = time.perf_counter()
-    try:
-        result = wrap_table(fn(item), shm_threshold)
-    finally:
-        registry.inc("pool.busy_s", time.perf_counter() - start)
-        set_metrics(previous)
-    return result, registry
+    return mode != "inline" and n_jobs > 1 and n_items > 1
 
 
-def _pool_map(fn: Callable[[Any], Any], items: list[Any], jobs: int) -> list[Any]:
-    """Map ``fn`` over ``items`` with up to ``jobs`` worker processes.
+def _effective_shards(scenario: Scenario, n_jobs: int, mode: str) -> int:
+    """Intra-day fan-out for expensive days (1 = sharding off).
+
+    Sharding needs the per-event seeding mode (the legacy sequential
+    stream cannot be split bit-identically) and a pool to fan over; the
+    shard count comes from the execution policy, defaulting to the
+    worker count.
+    """
+    if mode == "inline" or n_jobs <= 1 or not scenario.config.per_event_seeds:
+        return 1
+    policy_shards = execution_policy().day_shards
+    return policy_shards if policy_shards > 0 else n_jobs
+
+
+def _pool_map(
+    fn: Callable[[Any], Any],
+    items: list[Any],
+    jobs: int,
+    scenario: Scenario | None = None,
+    executor: str | None = None,
+    batch_days: int | None = None,
+) -> list[Any]:
+    """Map ``fn`` over ``items`` on the warm worker pool (or inline).
 
     Results come back in submission order, so callers can zip them with
-    their inputs; with one item (or one job) the map runs inline. When
-    the active registry is enabled, tasks run under :func:`_metered_call`
-    and the worker registries (task counters, spans, busy time) merge
-    back into the parent, along with pool-level wall/capacity counters.
+    their inputs. See :func:`_pool_map_with_deltas` for the metering
+    contract.
     """
-    return [result for result, _ in _pool_map_with_deltas(fn, items, jobs)]
+    return [
+        result
+        for result, _ in _pool_map_with_deltas(
+            fn, items, jobs, scenario=scenario, executor=executor, batch_days=batch_days
+        )
+    ]
 
 
 def _pool_map_with_deltas(
-    fn: Callable[[Any], Any], items: list[Any], jobs: int
+    fn: Callable[[Any], Any],
+    items: list[Any],
+    jobs: int,
+    scenario: Scenario | None = None,
+    executor: str | None = None,
+    batch_days: int | None = None,
 ) -> list[tuple[Any, dict[str, float] | None]]:
     """:func:`_pool_map`, but each result is paired with the ``scenario.*``
     counter deltas its task recorded (``None`` when the registry is off).
 
     Per-day deltas are what the cache stores alongside each day result so
-    a later cache hit can replay them — see :func:`_cache_get`.
+    a later cache hit can replay them — see :func:`_cache_get`. Pooled
+    fans go to the persistent :func:`repro.core.workerpool.get_pool`
+    executor (``scenario`` keys the pool and must be provided); the
+    inline path records the same ``pool.*`` counter family with one
+    worker, so ``--jobs 1`` profiles stay comparable with pooled runs.
     """
     registry = metrics()
-    if jobs <= 1 or len(items) <= 1:
+    mode = _resolve_executor(executor)
+    n_jobs = resolve_jobs(jobs)
+    if not _use_pool(mode, n_jobs, len(items)):
+        start = time.perf_counter()
         out = []
         for item in items:
             before = _counters_snapshot(registry)
             result = fn(item)
             out.append((result, _counters_delta(registry, before)))
+        record_inline_pool(registry, len(items), time.perf_counter() - start)
         return out
-    workers = min(jobs, len(items))
-    threshold = transport_threshold()
-    if not registry.enabled:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            raw_results = list(pool.map(partial(_shm_task, fn, threshold), items))
-        return [(unwrap_table(result), None) for result in raw_results]
-    start = time.perf_counter()
-    task = partial(
-        _metered_call, fn, trace=registry.trace is not None, shm_threshold=threshold
-    )
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        raw = list(pool.map(task, items))
-    wall = time.perf_counter() - start
-    registry.inc("pool.tasks", len(items))
-    registry.inc("pool.wall_s", wall)
-    registry.inc("pool.capacity_s", workers * wall)
-    registry.gauge("pool.workers", workers)
-    results = []
-    for result, worker_registry in raw:
-        registry.merge(worker_registry)
-        result = unwrap_table(result)
-        deltas = {
-            name: value
-            for name, value in worker_registry.counters.items()
-            if name.startswith(_REPLAY_PREFIX) and value
-        }
-        results.append((result, deltas))
-    return results
+    if scenario is None:
+        raise ValueError("pooled _pool_map_with_deltas needs the scenario (keys the pool)")
+    if batch_days is None:
+        batch_days = execution_policy().batch_days
+    pool = get_pool(scenario, n_jobs, mode)
+    return pool.map_with_deltas(fn, items, batch=batch_days or None)
+
+
+def _sharded_day_traffic(
+    scenario: Scenario,
+    pool: WorkerPool,
+    day: int,
+    with_takedown: bool,
+    takedown: TakedownScenario,
+    n_shards: int,
+) -> DayTraffic:
+    """Generate one expensive day by fanning its event range over the pool.
+
+    Shard tasks return partial tables (no ``scenario.*`` counters); the
+    parent reassembles them via ``Scenario.combine_day_shards``, which
+    records the day's work counters exactly once — so digests match the
+    unsharded per-event-seeded generation bit for bit, for any shard
+    count.
+    """
+    specs = [
+        DayShardSpec(scenario.config, day, with_takedown, takedown, shard, n_shards)
+        for shard in range(n_shards)
+    ]
+    metrics().inc("pool.shard_tasks", n_shards)
+    parts = [part for part, _ in pool.map_with_deltas(_day_shard_task, specs, batch=1)]
+    return scenario.combine_day_shards(parts)
 
 
 # -- the day-result cache ------------------------------------------------------
 
-#: Counter family replayed on cache hits. The ``scenario.*`` counters are
-#: *logical* work counters — they describe the dataset an experiment
-#: processed, not the physical generations the strategy happened to run —
-#: so serving a day from the cache must count the same as regenerating it.
-#: That is what keeps them identical across ``jobs``/``cache`` strategies.
-_REPLAY_PREFIX = "scenario."
+# The replayed counter family (``scenario.*``) is defined in
+# :mod:`repro.core.workerpool` (imported above as ``_REPLAY_PREFIX``):
+# logical work counters describe the dataset an experiment processed, not
+# the physical generations the strategy happened to run, so serving a day
+# from the cache must count the same as regenerating it. That is what
+# keeps them identical across ``jobs``/``cache``/executor strategies.
 
 
 def _counters_snapshot(registry: MetricsRegistry) -> dict[str, float] | None:
@@ -490,11 +520,17 @@ def observed_days(
     with_takedown: bool = True,
     jobs: int = 1,
     cache: bool = False,
+    executor: str | None = None,
+    batch_days: int | None = None,
 ) -> list[FlowTable]:
     """One observed flow table per day, in ``days`` order.
 
     Cache-aware and parallel: cached days are returned immediately, the
-    rest fan out over the process pool (``jobs``) or run inline.
+    rest fan out over the warm worker pool (``jobs``/``executor``, with
+    ``batch_days`` specs per task) or run inline. When fewer missing
+    days than workers remain and the scenario uses per-event seeding,
+    each day's event range is sharded across the pool instead (see
+    :func:`_sharded_day_traffic`).
     """
     with metrics().span("parallel.observed_days"):
         days = [int(d) for d in days]
@@ -510,19 +546,41 @@ def observed_days(
             missing.append(day)
         if missing:
             n_jobs = resolve_jobs(jobs)
-            metrics().inc("parallel.days_dispatched", len(missing))
+            mode = _resolve_executor(executor)
+            registry = metrics()
+            registry.inc("parallel.days_dispatched", len(missing))
+            n_shards = _effective_shards(scenario, n_jobs, mode)
+            if n_shards > 1 and len(missing) < n_jobs:
+                pool = get_pool(scenario, n_jobs, mode)
+                for day in missing:
+                    before = _counters_snapshot(registry)
+                    traffic = _sharded_day_traffic(
+                        scenario, pool, day, with_takedown, takedown, n_shards
+                    )
+                    table = scenario.observe_day(vantage, traffic)
+                    results[day] = table
+                    if cache:
+                        _cache_put(
+                            _key("observed", config_hash, takedown, vantage, day, with_takedown),
+                            table,
+                            _counters_delta(registry, before),
+                        )
+                return [results[day] for day in days]
             specs = [DaySpec(scenario.config, d, vantage, with_takedown, takedown) for d in missing]
-            if n_jobs > 1:
-                register_scenario(scenario)
-                pairs = _pool_map_with_deltas(_observed_task, specs, n_jobs)
+            if _use_pool(mode, n_jobs, len(specs)):
+                pairs = _pool_map_with_deltas(
+                    _observed_task, specs, n_jobs,
+                    scenario=scenario, executor=mode, batch_days=batch_days,
+                )
             else:
                 pairs = []
-                registry = metrics()
+                start = time.perf_counter()
                 for spec in specs:
                     before = _counters_snapshot(registry)
                     traffic = scenario.day_traffic(spec.day, with_takedown=with_takedown)
                     table = scenario.observe_day(vantage, traffic)
                     pairs.append((table, _counters_delta(registry, before)))
+                record_inline_pool(registry, len(specs), time.perf_counter() - start)
             for day, (table, deltas) in zip(missing, pairs):
                 results[day] = table
                 if cache:
@@ -542,12 +600,15 @@ def daily_port_counts(
     with_takedown: bool = True,
     jobs: int = 1,
     cache: bool = False,
+    executor: str | None = None,
+    batch_days: int | None = None,
 ) -> dict[int, dict[str, int]]:
     """Per-day packet counts per selector, keyed by day.
 
-    Workers ship back only the reduced counts (never flow tables). With
-    the cache enabled, a day is served from its cached counts, derived
-    from a cached observed table if one exists, or regenerated.
+    Process workers ship back only the reduced counts (never flow
+    tables); thread workers share memory anyway. With the cache
+    enabled, a day is served from its cached counts, derived from a
+    cached observed table if one exists, or regenerated.
     """
     with metrics().span("parallel.daily_port_counts"):
         selectors = list(selectors)
@@ -573,12 +634,36 @@ def daily_port_counts(
             missing.append(day)
         if missing:
             n_jobs = resolve_jobs(jobs)
-            metrics().inc("parallel.days_dispatched", len(missing))
+            mode = _resolve_executor(executor)
+            registry = metrics()
+            registry.inc("parallel.days_dispatched", len(missing))
+            n_shards = _effective_shards(scenario, n_jobs, mode)
             specs = [DaySpec(scenario.config, d, vantage, with_takedown, takedown) for d in missing]
-            if n_jobs > 1:
-                register_scenario(scenario)
+            if n_shards > 1 and len(missing) < n_jobs:
+                pool = get_pool(scenario, n_jobs, mode)
+                for day in missing:
+                    before = _counters_snapshot(registry)
+                    traffic = _sharded_day_traffic(
+                        scenario, pool, day, with_takedown, takedown, n_shards
+                    )
+                    observed = scenario.observe_day(vantage, traffic)
+                    counts[day] = {s.name: s.packets(observed) for s in selectors}
+                    if cache:
+                        deltas = _counters_delta(registry, before)
+                        _cache_put(
+                            _key("observed", config_hash, takedown, vantage, day, with_takedown),
+                            observed,
+                            deltas,
+                        )
+                        _cache_put(
+                            _key("ports", config_hash, takedown, vantage, day, with_takedown, fingerprint),
+                            counts[day],
+                            deltas,
+                        )
+            elif _use_pool(mode, n_jobs, len(specs)):
                 fresh = _pool_map_with_deltas(
-                    partial(_port_counts_task, selectors=selectors), specs, n_jobs
+                    partial(_port_counts_task, selectors=selectors), specs, n_jobs,
+                    scenario=scenario, executor=mode, batch_days=batch_days,
                 )
                 for day, (value, deltas) in zip(missing, fresh):
                     counts[day] = value
@@ -591,7 +676,7 @@ def daily_port_counts(
             else:
                 # Serial: also cache the observed table so later experiments
                 # over the same days (any reduction) can reuse it.
-                registry = metrics()
+                start = time.perf_counter()
                 for day in missing:
                     before = _counters_snapshot(registry)
                     traffic = scenario.day_traffic(day, with_takedown=with_takedown)
@@ -609,6 +694,7 @@ def daily_port_counts(
                             counts[day],
                             deltas,
                         )
+                record_inline_pool(registry, len(missing), time.perf_counter() - start)
         return counts
 
 
@@ -620,13 +706,17 @@ def streaming_ingest(
     with_takedown: bool = True,
     jobs: int = 1,
     cache: bool = False,
+    executor: str | None = None,
+    batch_days: int | None = None,
 ) -> Any:
     """Feed ``days`` through ``analyzer``, optionally over the pool.
 
     With ``jobs > 1`` the analyzer must implement the merge protocol
     (``clone_empty()`` + ``merge(other)``); each worker chunk ingests
     into its own clone and the clones fold back order-independently.
-    Cached observed days are ingested directly in the parent.
+    Cached observed days are ingested directly in the parent. Days are
+    pre-chunked to ``batch_days`` per clone (auto-sized by default), so
+    the pool maps the chunks one task each.
     """
     with metrics().span("parallel.streaming_ingest"):
         days = [int(d) for d in days]
@@ -642,17 +732,23 @@ def streaming_ingest(
         if not pending:
             return analyzer
         n_jobs = resolve_jobs(jobs)
-        metrics().inc("parallel.days_dispatched", len(pending))
-        if n_jobs > 1 and len(pending) > 1:
+        mode = _resolve_executor(executor)
+        registry = metrics()
+        registry.inc("parallel.days_dispatched", len(pending))
+        if _use_pool(mode, n_jobs, len(pending)):
             if not (hasattr(analyzer, "clone_empty") and hasattr(analyzer, "merge")):
                 raise TypeError(
                     "parallel collect_streaming needs an analyzer with the merge "
                     "protocol (clone_empty() and merge()); got "
                     f"{type(analyzer).__name__}"
                 )
-            register_scenario(scenario)
-            n_chunks = min(len(pending), n_jobs * 4)
-            chunks = [pending[i::n_chunks] for i in range(n_chunks)]
+            pool = get_pool(scenario, n_jobs, mode)
+            if batch_days is None:
+                batch_days = execution_policy().batch_days
+            chunk_size = pool.resolve_batch(len(pending), batch_days or None)
+            chunks = [
+                pending[i : i + chunk_size] for i in range(0, len(pending), chunk_size)
+            ]
             tasks = [
                 (
                     tuple(DaySpec(scenario.config, d, vantage, with_takedown, takedown) for d in chunk),
@@ -660,10 +756,15 @@ def streaming_ingest(
                 )
                 for chunk in chunks
             ]
-            for part in _pool_map(_ingest_chunk_task, tasks, n_jobs):
+            # Each task is already a chunk of days sharing one analyzer
+            # clone, so the pool maps them unbatched (batch=1).
+            for part in _pool_map(
+                _ingest_chunk_task, tasks, n_jobs,
+                scenario=scenario, executor=mode, batch_days=1,
+            ):
                 analyzer.merge(part)
         else:
-            registry = metrics()
+            start = time.perf_counter()
             for day in pending:
                 before = _counters_snapshot(registry)
                 traffic = scenario.day_traffic(day, with_takedown=with_takedown)
@@ -675,6 +776,7 @@ def streaming_ingest(
                         _counters_delta(registry, before),
                     )
                 analyzer.ingest_day(day, observed)
+            record_inline_pool(registry, len(pending), time.perf_counter() - start)
         return analyzer
 
 
@@ -705,6 +807,8 @@ def day_attack_tables(
     with_takedown: bool = True,
     jobs: int = 1,
     cache: bool = False,
+    executor: str | None = None,
+    batch_days: int | None = None,
 ) -> list[FlowTable]:
     """Ground-truth attack flow tables per day, in ``days`` order."""
     with metrics().span("parallel.day_attack_tables"):
@@ -721,18 +825,34 @@ def day_attack_tables(
             missing.append(day)
         if missing:
             n_jobs = resolve_jobs(jobs)
-            metrics().inc("parallel.days_dispatched", len(missing))
-            specs = [DaySpec(scenario.config, d, None, with_takedown, takedown) for d in missing]
-            if n_jobs > 1:
-                register_scenario(scenario)
-                pairs = _pool_map_with_deltas(_attack_table_task, specs, n_jobs)
-            else:
+            mode = _resolve_executor(executor)
+            registry = metrics()
+            registry.inc("parallel.days_dispatched", len(missing))
+            n_shards = _effective_shards(scenario, n_jobs, mode)
+            if n_shards > 1 and len(missing) < n_jobs:
+                pool = get_pool(scenario, n_jobs, mode)
                 pairs = []
-                registry = metrics()
-                for d in missing:
+                for day in missing:
                     before = _counters_snapshot(registry)
-                    table = scenario.day_traffic(d, with_takedown=with_takedown).attack
-                    pairs.append((table, _counters_delta(registry, before)))
+                    traffic = _sharded_day_traffic(
+                        scenario, pool, day, with_takedown, takedown, n_shards
+                    )
+                    pairs.append((traffic.attack, _counters_delta(registry, before)))
+            else:
+                specs = [DaySpec(scenario.config, d, None, with_takedown, takedown) for d in missing]
+                if _use_pool(mode, n_jobs, len(specs)):
+                    pairs = _pool_map_with_deltas(
+                        _attack_table_task, specs, n_jobs,
+                        scenario=scenario, executor=mode, batch_days=batch_days,
+                    )
+                else:
+                    pairs = []
+                    start = time.perf_counter()
+                    for d in missing:
+                        before = _counters_snapshot(registry)
+                        table = scenario.day_traffic(d, with_takedown=with_takedown).attack
+                        pairs.append((table, _counters_delta(registry, before)))
+                    record_inline_pool(registry, len(missing), time.perf_counter() - start)
             for day, (table, deltas) in zip(missing, pairs):
                 results[day] = table
                 if cache:

@@ -36,7 +36,13 @@ _VP_SAMPLING = {"ixp": 10_000.0, "tier1": 1_000.0, "tier2": 1_000.0}
 def _observed_window(scenario: Scenario, vantage: str, config: ExperimentConfig) -> FlowTable:
     start, end = _VP_DAYS[vantage]
     tables = observed_days(
-        scenario, vantage, range(start, end), jobs=config.jobs, cache=config.use_cache
+        scenario,
+        vantage,
+        range(start, end),
+        jobs=config.jobs,
+        cache=config.use_cache,
+        executor=config.executor,
+        batch_days=config.batch_days,
     )
     return FlowTable.concat(tables)
 
@@ -46,7 +52,13 @@ def run_fig2a(config: ExperimentConfig) -> ExperimentResult:
     scenario = build_scenario(config)
     day = _VP_DAYS["ixp"][0]
     observed = observed_days(
-        scenario, "ixp", [day], jobs=config.jobs, cache=config.use_cache
+        scenario,
+        "ixp",
+        [day],
+        jobs=config.jobs,
+        cache=config.use_cache,
+        executor=config.executor,
+        batch_days=config.batch_days,
     )[0]
     # All NTP packets at the IXP, both directions.
     ntp = observed.filter(

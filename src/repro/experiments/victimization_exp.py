@@ -56,7 +56,12 @@ def run(config: ExperimentConfig) -> ExperimentResult:
     # (anonymized vantage exports cannot be resolved back to ASes).
     ground_truth = FlowTable.concat(
         day_attack_tables(
-            scenario, list(_DAYS)[:3], jobs=config.jobs, cache=config.use_cache
+            scenario,
+            list(_DAYS)[:3],
+            jobs=config.jobs,
+            cache=config.use_cache,
+            executor=config.executor,
+            batch_days=config.batch_days,
         )
     )
     report = victim_report(ground_truth)

@@ -27,6 +27,7 @@ from repro.obs.metrics import (
     SpanStats,
     metrics,
     set_metrics,
+    set_thread_metrics,
     use_metrics,
 )
 from repro.obs.profile import (
@@ -78,6 +79,7 @@ __all__ = [
     "registry_from_dict",
     "render_profile",
     "set_metrics",
+    "set_thread_metrics",
     "use_metrics",
     "write_chrome_trace",
 ]

@@ -30,6 +30,7 @@ Naming conventions (relied on by tests and the profile report):
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -44,6 +45,7 @@ __all__ = [
     "MetricsRegistry",
     "metrics",
     "set_metrics",
+    "set_thread_metrics",
     "use_metrics",
 ]
 
@@ -337,10 +339,21 @@ class MetricsRegistry:
 #: unconditionally; runs opt in by installing an enabled registry.
 _ACTIVE = MetricsRegistry(enabled=False)
 
+#: Per-thread registry override, installed by the thread-pool executor so
+#: concurrent day tasks record into isolated registries (the process
+#: global is shared by all threads and would interleave their counters).
+_THREAD_LOCAL = threading.local()
+
 
 def metrics() -> MetricsRegistry:
-    """The process-wide active registry (disabled no-op by default)."""
-    return _ACTIVE
+    """The active registry: the thread's override, else the process one.
+
+    The override only exists inside thread-pool worker tasks (see
+    :func:`set_thread_metrics`); every other caller gets the process-wide
+    registry, disabled by default.
+    """
+    override = getattr(_THREAD_LOCAL, "registry", None)
+    return _ACTIVE if override is None else override
 
 
 def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
@@ -348,6 +361,19 @@ def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
     global _ACTIVE
     previous = _ACTIVE
     _ACTIVE = registry
+    return previous
+
+
+def set_thread_metrics(registry: MetricsRegistry | None) -> MetricsRegistry | None:
+    """Install a registry for the *calling thread only*; returns the previous.
+
+    Pass ``None`` to clear the override. Thread-pool day tasks wrap each
+    item in install/restore so their ``scenario.*`` deltas ship back
+    per item, exactly like process workers do with :func:`set_metrics`
+    (which is process-global and single-threaded in a pool worker).
+    """
+    previous = getattr(_THREAD_LOCAL, "registry", None)
+    _THREAD_LOCAL.registry = registry
     return previous
 
 

@@ -155,6 +155,25 @@ def render_profile(registry: MetricsRegistry, title: str | None = None) -> str:
             f"({registry.gauges.get('pool.workers', 0):.0f} workers, "
             f"{registry.counter('pool.tasks'):.0f} tasks)"
         )
+    spawns = registry.counter("pool.spawns")
+    reuses = registry.counter("pool.reuses")
+    if spawns or reuses:
+        respawns = registry.counter("pool.respawns")
+        respawn_note = f", {respawns:.0f} respawns" if respawns else ""
+        summary.append(
+            f"pool reuse: {spawns:.0f} spawn(s) / {reuses:.0f} reuse(s)"
+            f"{respawn_note}"
+        )
+    batches = registry.counter("pool.batches")
+    if batches:
+        shard_tasks = registry.counter("pool.shard_tasks")
+        shard_note = f", {shard_tasks:.0f} shard tasks" if shard_tasks else ""
+        summary.append(
+            f"pool batching: {registry.counter('pool.tasks'):.0f} tasks in "
+            f"{batches:.0f} dispatch(es) "
+            f"(batch size {registry.gauges.get('pool.batch_size', 0):.0f}"
+            f"{shard_note})"
+        )
     if summary:
         lines.append("  |  ".join(summary))
     return "\n".join(lines)

@@ -375,13 +375,18 @@ class TestSummaryEdgeCases:
         assert "(no spans recorded)" in text
         assert "hit rate" not in text and "utilization" not in text
 
-    def test_single_day_serial_run_reports_no_pool_summary(self, scenario):
-        # jobs=2 with one item runs inline: real traffic, still no pool.
+    def test_single_day_serial_run_records_inline_pool(self, scenario):
+        # jobs=2 with one item runs inline: real traffic, no workers
+        # spawned — but the same pool.* counter family is recorded (with
+        # one logical worker) so profiles stay comparable across modes.
         registry = MetricsRegistry()
         with use_metrics(registry):
             collect_daily_port_series(scenario, "ixp", SELECTORS, day_range=(40, 41), jobs=2)
         assert registry.counter("pipeline.days_processed") == 1
-        assert pool_utilization(registry) is None
+        assert registry.gauges.get("pool.workers") == 1
+        assert registry.counter("pool.tasks") == 1
+        assert registry.counter("pool.spawns") == 0
+        assert pool_utilization(registry) == 1.0
 
 
 class TestProfileAndExport:
