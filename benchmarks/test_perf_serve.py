@@ -1,0 +1,183 @@
+"""Load benchmark of the observatory serving plane.
+
+Boots a real :class:`~repro.serve.server.ObservatoryServer` on an
+ephemeral port and drives it with N concurrent asyncio clients over a
+mixed schedule: a **cold** pass where every requested day is uncomputed
+(all clients race the same misses, so the single-flight layer coalesces
+them into one pipeline run per day) and a **warm** pass repeating the
+identical schedule against the now-populated day cache.
+
+Each pass appends one history entry to ``benchmarks/BENCH_serve.json``
+(a JSON list, oldest first, like the other BENCH files): p50/p99
+request latency, requests/second, and the single-flight dedup ratio.
+The warm-cache p50 must beat the cold-compute p50 by >= 5x — the whole
+point of the cache-tier resolution is that repeat queries never pay
+compute.
+
+``REPRO_SERVE_BENCH_SMOKE=1`` shrinks the schedule for CI smoke runs
+(fewer clients/days; same phases, same assertion).
+"""
+
+import asyncio
+import json
+import os
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.parallel import day_cache
+from repro.core.workerpool import shutdown_pool
+from repro.experiments.base import ExperimentConfig
+from repro.obs import MetricsRegistry, use_metrics
+from repro.serve.server import ObservatoryServer
+from repro.serve.service import ObservatoryService
+from repro.timeutil import date_of
+
+SMOKE = os.environ.get("REPRO_SERVE_BENCH_SMOKE") == "1"
+N_CLIENTS = 8 if SMOKE else 25
+N_DAYS = 3 if SMOKE else 6
+
+
+def _append_history(payload):
+    out = Path(__file__).parent / "BENCH_serve.json"
+    history = json.loads(out.read_text()) if out.exists() else []
+    history.append(payload)
+    out.write_text(json.dumps(history, indent=2) + "\n")
+
+
+class _KeepAliveClient:
+    """One persistent connection issuing sequential GETs."""
+
+    def __init__(self, port: int) -> None:
+        self.port = port
+        self.reader: asyncio.StreamReader | None = None
+        self.writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> None:
+        self.reader, self.writer = await asyncio.open_connection(
+            "127.0.0.1", self.port
+        )
+
+    async def get(self, path: str) -> bytes:
+        self.writer.write(f"GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n".encode())
+        await self.writer.drain()
+        head = await asyncio.wait_for(self.reader.readuntil(b"\r\n\r\n"), 120)
+        status = int(head.split(b"\r\n")[0].split(b" ")[1])
+        assert status == 200, head
+        length = 0
+        for line in head.split(b"\r\n")[1:]:
+            if line.lower().startswith(b"content-length:"):
+                length = int(line.split(b":", 1)[1])
+        return await asyncio.wait_for(self.reader.readexactly(length), 120)
+
+    def close(self) -> None:
+        if self.writer is not None:
+            self.writer.close()
+
+
+async def _run_phase(port: int, schedule: list[str]) -> tuple[list[float], float]:
+    """All clients run the schedule concurrently; per-request latencies."""
+
+    async def client_task() -> list[float]:
+        client = _KeepAliveClient(port)
+        await client.connect()
+        latencies = []
+        try:
+            for path in schedule:
+                t0 = time.perf_counter()
+                await client.get(path)
+                latencies.append(time.perf_counter() - t0)
+        finally:
+            client.close()
+        return latencies
+
+    t0 = time.perf_counter()
+    per_client = await asyncio.gather(*(client_task() for _ in range(N_CLIENTS)))
+    wall_s = time.perf_counter() - t0
+    return [lat for result in per_client for lat in result], wall_s
+
+
+def test_perf_serve_cold_vs_warm():
+    """Mixed cold/warm load: warm-cache p50 must beat cold p50 by >= 5x."""
+    day_cache().clear()
+    day_cache().attach_disk(None)
+    registry = MetricsRegistry(enabled=True)
+    service = ObservatoryService(
+        ExperimentConfig(preset="small", seed=2018, jobs=1, executor="inline")
+    )
+    takedown = service.scenario_config.takedown_day
+    dates = [str(date_of(takedown - 2 + i)) for i in range(N_DAYS)]
+    schedule = [f"/v1/days/{date}" for date in dates] + ["/v1/config"]
+
+    async def run():
+        server = ObservatoryServer(service, compute_slots=1)
+        await server.start()
+        try:
+            cold = await _run_phase(server.port, schedule)
+            warm = await _run_phase(server.port, schedule)
+            return cold, warm
+        finally:
+            await server.aclose()
+
+    try:
+        with use_metrics(registry):
+            (cold_lat, cold_wall), (warm_lat, warm_wall) = asyncio.run(run())
+    finally:
+        shutdown_pool()
+
+    n_requests = N_CLIENTS * len(schedule)
+    assert len(cold_lat) == len(warm_lat) == n_requests
+
+    hits = registry.counter("serve.singleflight_hits")
+    leaders = registry.counter("serve.singleflight_leaders")
+    dedup_ratio = hits / (hits + leaders) if hits + leaders else 0.0
+    computes = registry.counter("serve.cache_tier.compute")
+    # Single-flight + cache: the N_DAYS cold misses each computed once,
+    # no matter how many clients raced them.
+    assert computes == N_DAYS, registry.counters
+
+    cold_p50, cold_p99 = np.percentile(cold_lat, [50, 99])
+    warm_p50, warm_p99 = np.percentile(warm_lat, [50, 99])
+    speedup_p50 = cold_p50 / warm_p50 if warm_p50 > 0 else float("inf")
+    recorded_at = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    common = {
+        "recorded_at": recorded_at,
+        "cpu_count": os.cpu_count(),
+        "clients": N_CLIENTS,
+        "days": N_DAYS,
+        "requests": n_requests,
+        "smoke": SMOKE,
+    }
+    _append_history(
+        {
+            "benchmark": "serve_load_cold",
+            **common,
+            "p50_ms": round(cold_p50 * 1e3, 3),
+            "p99_ms": round(cold_p99 * 1e3, 3),
+            "requests_per_s": round(n_requests / cold_wall, 1),
+            "singleflight_dedup_ratio": round(dedup_ratio, 4),
+            "compute_runs": int(computes),
+        }
+    )
+    _append_history(
+        {
+            "benchmark": "serve_load_warm",
+            **common,
+            "p50_ms": round(warm_p50 * 1e3, 3),
+            "p99_ms": round(warm_p99 * 1e3, 3),
+            "requests_per_s": round(n_requests / warm_wall, 1),
+            "warm_speedup_p50": round(speedup_p50, 2),
+        }
+    )
+    print(
+        f"\nserve load ({N_CLIENTS} clients x {len(schedule)} requests): "
+        f"cold p50 {cold_p50 * 1e3:.1f} ms p99 {cold_p99 * 1e3:.1f} ms, "
+        f"warm p50 {warm_p50 * 1e3:.1f} ms p99 {warm_p99 * 1e3:.1f} ms, "
+        f"dedup {dedup_ratio:.2%}, speedup {speedup_p50:.1f}x"
+    )
+    assert speedup_p50 >= 5.0, (
+        f"warm p50 {warm_p50 * 1e3:.2f} ms not >= 5x faster than "
+        f"cold p50 {cold_p50 * 1e3:.2f} ms"
+    )

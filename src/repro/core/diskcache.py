@@ -40,6 +40,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any
@@ -74,6 +75,12 @@ class DiskDayCache:
     ``None``. Attach one to the in-memory cache with
     :meth:`DayResultCache.attach_disk` and the tiers compose — memory
     miss consults disk, disk hit promotes back into memory.
+
+    All index mutations and file writes happen under one re-entrant
+    lock: the serving plane reads from ``asyncio.to_thread`` workers
+    while pipeline write-throughs land from other threads, and the LRU
+    index (OrderedDict plus the ``resident_bytes`` tally) is not safe
+    under concurrent mutation.
     """
 
     def __init__(self, root: str | Path, max_bytes: int = DEFAULT_MAX_BYTES) -> None:
@@ -82,6 +89,7 @@ class DiskDayCache:
         self.root = Path(root)
         self.max_bytes = int(max_bytes)
         self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.puts = 0
@@ -130,32 +138,33 @@ class DiskDayCache:
         truncation, checksum mismatch — deletes the entry and counts as
         a corrupt miss rather than raising.
         """
-        digest = key_digest(key)
-        data_path = self._data_path(digest)
-        if not data_path.exists():
-            self.misses += 1
-            metrics().inc("cache.disk_misses")
-            return None
-        try:
-            entry = self._load(key, digest, data_path)
-        except Exception:
-            self._drop(digest)
-            self.corrupt += 1
-            self.misses += 1
-            registry = metrics()
-            registry.inc("cache.disk_corrupt")
-            registry.inc("cache.disk_misses")
-            return None
-        self.hits += 1
-        metrics().inc("cache.disk_hits")
-        if digest in self._index:
-            self._index.move_to_end(digest)
-        try:
-            # Refresh mtime so a directory re-scan preserves LRU order.
-            os.utime(data_path)
-        except OSError:
-            pass
-        return entry
+        with self._lock:
+            digest = key_digest(key)
+            data_path = self._data_path(digest)
+            if not data_path.exists():
+                self.misses += 1
+                metrics().inc("cache.disk_misses")
+                return None
+            try:
+                entry = self._load(key, digest, data_path)
+            except Exception:
+                self._drop(digest)
+                self.corrupt += 1
+                self.misses += 1
+                registry = metrics()
+                registry.inc("cache.disk_corrupt")
+                registry.inc("cache.disk_misses")
+                return None
+            self.hits += 1
+            metrics().inc("cache.disk_hits")
+            if digest in self._index:
+                self._index.move_to_end(digest)
+            try:
+                # Refresh mtime so a directory re-scan preserves LRU order.
+                os.utime(data_path)
+            except OSError:
+                pass
+            return entry
 
     def _load(
         self, key: tuple, digest: str, data_path: Path
@@ -236,65 +245,68 @@ class DiskDayCache:
             "deltas": deltas,
             **extra,
         }
-        tmp_data = data_path.with_suffix(".rfl.tmp")
-        tmp_sidecar = self._sidecar_path(digest).with_suffix(".json.tmp")
-        try:
-            with tmp_data.open("wb") as fh:
-                fh.write(HEADER.pack(MAGIC, len(records)))
-                fh.write(records.tobytes())
-            tmp_sidecar.write_text(json.dumps(sidecar))
-            # Data before sidecar: a crash in between leaves an orphan
-            # .rfl that the next get() treats as corrupt and deletes.
-            os.replace(tmp_data, data_path)
-            os.replace(tmp_sidecar, self._sidecar_path(digest))
-        except OSError:
-            for tmp in (tmp_data, tmp_sidecar):
-                try:
-                    tmp.unlink()
-                except OSError:
-                    pass
-            return False
-        size = HEADER.size + records.nbytes
-        if digest in self._index:
-            self.resident_bytes -= self._index.pop(digest)
-        self._index[digest] = size
-        self.resident_bytes += size
-        self.puts += 1
-        registry = metrics()
-        registry.inc("cache.disk_puts")
-        registry.inc("cache.disk_bytes_stored", size)
-        while self.resident_bytes > self.max_bytes and len(self._index) > 1:
-            oldest = next(iter(self._index))
-            self._drop(oldest)
-            self.evictions += 1
-            registry.inc("cache.disk_evictions")
-        registry.gauge("cache.disk_resident_bytes", self.resident_bytes)
-        return True
+        with self._lock:
+            tmp_data = data_path.with_suffix(".rfl.tmp")
+            tmp_sidecar = self._sidecar_path(digest).with_suffix(".json.tmp")
+            try:
+                with tmp_data.open("wb") as fh:
+                    fh.write(HEADER.pack(MAGIC, len(records)))
+                    fh.write(records.tobytes())
+                tmp_sidecar.write_text(json.dumps(sidecar))
+                # Data before sidecar: a crash in between leaves an orphan
+                # .rfl that the next get() treats as corrupt and deletes.
+                os.replace(tmp_data, data_path)
+                os.replace(tmp_sidecar, self._sidecar_path(digest))
+            except OSError:
+                for tmp in (tmp_data, tmp_sidecar):
+                    try:
+                        tmp.unlink()
+                    except OSError:
+                        pass
+                return False
+            size = HEADER.size + records.nbytes
+            if digest in self._index:
+                self.resident_bytes -= self._index.pop(digest)
+            self._index[digest] = size
+            self.resident_bytes += size
+            self.puts += 1
+            registry = metrics()
+            registry.inc("cache.disk_puts")
+            registry.inc("cache.disk_bytes_stored", size)
+            while self.resident_bytes > self.max_bytes and len(self._index) > 1:
+                oldest = next(iter(self._index))
+                self._drop(oldest)
+                self.evictions += 1
+                registry.inc("cache.disk_evictions")
+            registry.gauge("cache.disk_resident_bytes", self.resident_bytes)
+            return True
 
     # -- maintenance ----------------------------------------------------------
 
     def clear(self) -> None:
         """Delete every entry and reset the session counters."""
-        for digest in list(self._index):
-            self._drop(digest)
-        self.hits = 0
-        self.misses = 0
-        self.puts = 0
-        self.evictions = 0
-        self.corrupt = 0
-        self.resident_bytes = 0
+        with self._lock:
+            for digest in list(self._index):
+                self._drop(digest)
+            self.hits = 0
+            self.misses = 0
+            self.puts = 0
+            self.evictions = 0
+            self.corrupt = 0
+            self.resident_bytes = 0
 
     def stats(self) -> dict[str, int]:
         """Counters for reporting: entries, hits, misses, puts, corrupt, bytes."""
-        return {
-            "entries": len(self._index),
-            "hits": self.hits,
-            "misses": self.misses,
-            "puts": self.puts,
-            "evictions": self.evictions,
-            "corrupt": self.corrupt,
-            "resident_bytes": self.resident_bytes,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._index),
+                "hits": self.hits,
+                "misses": self.misses,
+                "puts": self.puts,
+                "evictions": self.evictions,
+                "corrupt": self.corrupt,
+                "resident_bytes": self.resident_bytes,
+            }
 
     def __len__(self) -> int:
         return len(self._index)

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import os
 import sys
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -374,6 +375,14 @@ class DayResultCache:
     the disk store (a hit is promoted back into memory without being
     rewritten to disk), and inserts write through. Flow tables evicted
     from the memory LRU remain reachable on disk.
+
+    The cache is thread-safe: the serving plane resolves requests from
+    ``asyncio.to_thread`` workers while thread-pool day tasks and pool
+    result callbacks insert concurrently, so every mutation of the LRU
+    (and the paired size/counter bookkeeping) happens under one re-entrant
+    lock. OrderedDict mutation is *not* atomic under concurrent
+    ``move_to_end``/``popitem`` — unlocked, a race corrupts the linked
+    list or loses ``resident_bytes`` accounting.
     """
 
     def __init__(self, max_entries: int = 4096) -> None:
@@ -382,6 +391,7 @@ class DayResultCache:
         self.max_entries = max_entries
         self._data: OrderedDict[tuple, Any] = OrderedDict()
         self._sizes: dict[tuple, int] = {}
+        self._lock = threading.RLock()
         self.disk = None
         self.hits = 0
         self.misses = 0
@@ -395,7 +405,8 @@ class DayResultCache:
         returning a stored value or ``None``, ``put(key, value)``, and
         ``stats()``.
         """
-        self.disk = disk
+        with self._lock:
+            self.disk = disk
 
     def get(self, key: tuple) -> Any | None:
         """The cached value for ``key``, or ``None`` (counts hit/miss).
@@ -404,21 +415,22 @@ class DayResultCache:
         disk hit counts as a memory miss *and* a disk hit, and the value
         is promoted into the memory LRU for subsequent lookups.
         """
-        try:
-            value = self._data[key]
-        except KeyError:
-            self.misses += 1
-            metrics().inc("cache.misses")
-            if self.disk is not None:
-                value = self.disk.get(key)
-                if value is not None:
-                    self._insert(key, value, write_disk=False)
-                    return value
-            return None
-        self._data.move_to_end(key)
-        self.hits += 1
-        metrics().inc("cache.hits")
-        return value
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                metrics().inc("cache.misses")
+                if self.disk is not None:
+                    value = self.disk.get(key)
+                    if value is not None:
+                        self._insert(key, value, write_disk=False)
+                        return value
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            metrics().inc("cache.hits")
+            return value
 
     def put(self, key: tuple, value: Any) -> None:
         """Insert (or refresh) an entry, evicting the least recently used.
@@ -431,24 +443,25 @@ class DayResultCache:
     def _insert(self, key: tuple, value: Any, write_disk: bool) -> None:
         registry = metrics()
         size = _approx_nbytes(value)
-        if key in self._sizes:
-            self.resident_bytes -= self._sizes[key]
-        self._data[key] = value
-        self._sizes[key] = size
-        self.resident_bytes += size
-        self._data.move_to_end(key)
-        if registry.enabled:
-            registry.inc("cache.puts")
-            registry.inc("cache.bytes_stored", size)
-        while len(self._data) > self.max_entries:
-            evicted_key, _ = self._data.popitem(last=False)
-            self.resident_bytes -= self._sizes.pop(evicted_key, 0)
-            self.evictions += 1
-            registry.inc("cache.evictions")
-        if registry.enabled:
-            registry.gauge("cache.resident_bytes", self.resident_bytes)
-        if write_disk and self.disk is not None:
-            self.disk.put(key, value)
+        with self._lock:
+            if key in self._sizes:
+                self.resident_bytes -= self._sizes[key]
+            self._data[key] = value
+            self._sizes[key] = size
+            self.resident_bytes += size
+            self._data.move_to_end(key)
+            if registry.enabled:
+                registry.inc("cache.puts")
+                registry.inc("cache.bytes_stored", size)
+            while len(self._data) > self.max_entries:
+                evicted_key, _ = self._data.popitem(last=False)
+                self.resident_bytes -= self._sizes.pop(evicted_key, 0)
+                self.evictions += 1
+                registry.inc("cache.evictions")
+            if registry.enabled:
+                registry.gauge("cache.resident_bytes", self.resident_bytes)
+            if write_disk and self.disk is not None:
+                self.disk.put(key, value)
 
     def clear(self) -> None:
         """Drop all in-memory entries and reset every counter.
@@ -457,28 +470,30 @@ class DayResultCache:
         is how a disk-warm run proves the durable tier alone can serve
         the campaign.
         """
-        self._data.clear()
-        self._sizes.clear()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.resident_bytes = 0
+        with self._lock:
+            self._data.clear()
+            self._sizes.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+            self.resident_bytes = 0
 
     def stats(self) -> dict[str, Any]:
         """Counters for reporting: entries, hits, misses, evictions, bytes.
 
         With a disk tier attached, its counters nest under ``"disk"``.
         """
-        stats: dict[str, Any] = {
-            "entries": len(self._data),
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "resident_bytes": self.resident_bytes,
-        }
-        if self.disk is not None:
-            stats["disk"] = self.disk.stats()
-        return stats
+        with self._lock:
+            stats: dict[str, Any] = {
+                "entries": len(self._data),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "resident_bytes": self.resident_bytes,
+            }
+            if self.disk is not None:
+                stats["disk"] = self.disk.stats()
+            return stats
 
     def __len__(self) -> int:
         return len(self._data)

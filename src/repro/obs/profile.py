@@ -174,6 +174,17 @@ def render_profile(registry: MetricsRegistry, title: str | None = None) -> str:
             f"(batch size {registry.gauges.get('pool.batch_size', 0):.0f}"
             f"{shard_note})"
         )
+    requests = registry.counter("serve.requests")
+    if requests:
+        tiers = "/".join(
+            f"{registry.counter(f'serve.cache_tier.{tier}'):.0f}"
+            for tier in ("mem", "disk", "compute")
+        )
+        flights = registry.counter("serve.singleflight_hits")
+        summary.append(
+            f"serve: {requests:.0f} request(s), tiers mem/disk/compute {tiers}, "
+            f"{flights:.0f} coalesced"
+        )
     if summary:
         lines.append("  |  ".join(summary))
     return "\n".join(lines)

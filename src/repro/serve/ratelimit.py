@@ -1,0 +1,86 @@
+"""Per-client token-bucket rate limiting for the observatory server.
+
+One :class:`TokenBucket` per client (peer address), kept in a bounded
+LRU so an address-rotating scanner cannot grow server memory without
+bound. The clock is injectable, so the refill math is tested without
+sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Callable
+
+__all__ = ["TokenBucket", "RateLimiter"]
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second up to ``burst``."""
+
+    __slots__ = ("rate", "burst", "tokens", "_clock", "_last")
+
+    def __init__(
+        self, rate: float, burst: float, clock: Callable[[], float] = time.monotonic
+    ) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._clock = clock
+        self._last = clock()
+
+    def allow(self, cost: float = 1.0) -> bool:
+        """Consume ``cost`` tokens if available; refill by elapsed time."""
+        now = self._clock()
+        elapsed = now - self._last
+        self._last = now
+        if elapsed > 0:
+            self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return True
+        return False
+
+
+class RateLimiter:
+    """Bounded map of per-client token buckets.
+
+    ``rate=None`` disables limiting entirely (every request allowed) —
+    the in-process tests and benchmark drive the server far above any
+    sensible public limit.
+    """
+
+    def __init__(
+        self,
+        rate: float | None,
+        burst: float | None = None,
+        max_clients: int = 4096,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_clients <= 0:
+            raise ValueError("max_clients must be positive")
+        self.rate = rate
+        self.burst = float(burst) if burst is not None else (rate or 0.0) * 2
+        self.max_clients = max_clients
+        self._clock = clock
+        self._buckets: OrderedDict[object, TokenBucket] = OrderedDict()
+        self.rejected = 0
+
+    def allow(self, client: object, cost: float = 1.0) -> bool:
+        """Whether ``client`` may spend ``cost`` tokens right now."""
+        if self.rate is None:
+            return True
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = TokenBucket(self.rate, self.burst, self._clock)
+            self._buckets[client] = bucket
+            while len(self._buckets) > self.max_clients:
+                self._buckets.popitem(last=False)
+        else:
+            self._buckets.move_to_end(client)
+        allowed = bucket.allow(cost)
+        if not allowed:
+            self.rejected += 1
+        return allowed

@@ -1,0 +1,259 @@
+"""Endpoint table of the observatory server.
+
+Routes map ``(method, /path/{param}/pattern)`` to async handlers.
+Handlers receive the parsed :class:`~repro.serve.http.Request`, the
+matched path params, and the :class:`ServeContext` — the server's
+service, single-flight table, and bounded compute semaphore. Compute
+endpoints all funnel through :func:`cached_payload_bytes`:
+
+    single-flight (coalesce concurrent identical requests)
+      -> compute semaphore (bound pipeline concurrency)
+        -> worker thread (the blocking cache/pipeline access)
+
+so N concurrent requests for the same uncomputed resource cost one
+pipeline run and the pool is never oversubscribed by unrelated
+requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, AsyncIterator, Awaitable, Callable
+
+from repro.obs import metrics
+from repro.serve import sse
+from repro.serve.http import HttpError, Request, Response
+from repro.serve.service import ObservatoryService, canonical_json
+from repro.serve.singleflight import SingleFlight
+from repro.timeutil import date_of
+
+__all__ = [
+    "Router",
+    "ServeContext",
+    "StreamingResponse",
+    "build_router",
+    "cached_payload_bytes",
+]
+
+#: Cap on SSE replay volume per request (events, then the stream ends).
+MAX_STREAM_EVENTS = 10_000
+
+
+@dataclass
+class ServeContext:
+    """Shared per-server state handlers resolve requests against."""
+
+    service: ObservatoryService
+    flights: SingleFlight = field(default_factory=SingleFlight)
+    compute_semaphore: asyncio.Semaphore | None = None
+
+    async def compute(self, fn: Callable[[], Any]) -> Any:
+        """Run blocking pipeline work in a thread, bounded by the semaphore."""
+        if self.compute_semaphore is None:
+            return await asyncio.to_thread(fn)
+        async with self.compute_semaphore:
+            return await asyncio.to_thread(fn)
+
+
+@dataclass
+class StreamingResponse:
+    """A chunked (SSE) response: head now, body chunks as they come."""
+
+    chunks: AsyncIterator[bytes]
+    status: int = 200
+    content_type: str = "text/event-stream"
+    headers: tuple[tuple[str, str], ...] = (("Cache-Control", "no-store"),)
+
+
+Handler = Callable[[Request, dict[str, str], ServeContext], Awaitable[Response | StreamingResponse]]
+
+
+async def cached_payload_bytes(
+    ctx: ServeContext, key: tuple, fn: Callable[[], Any]
+) -> bytes:
+    """Canonical JSON bytes of ``fn()``, deduplicated across waiters.
+
+    The single-flight result is the serialized payload, so every
+    coalesced waiter writes bit-identical bytes to its client.
+    """
+
+    async def factory() -> bytes:
+        payload = await ctx.compute(fn)
+        return canonical_json(payload)
+
+    return await ctx.flights.run(key, factory)
+
+
+class Router:
+    """Literal-and-``{param}`` path matcher with method dispatch."""
+
+    def __init__(self) -> None:
+        self._routes: list[tuple[str, tuple[str, ...], Handler]] = []
+
+    def add(self, method: str, pattern: str, handler: Handler) -> None:
+        """Register ``handler`` for ``method`` on ``pattern``.
+
+        Pattern segments are literals or ``{name}`` captures, e.g.
+        ``/v1/days/{date}``.
+        """
+        if not pattern.startswith("/"):
+            raise ValueError(f"pattern must start with '/': {pattern!r}")
+        self._routes.append((method.upper(), tuple(pattern.strip("/").split("/")), handler))
+
+    @staticmethod
+    def _match(segments: tuple[str, ...], path: str) -> dict[str, str] | None:
+        parts = path.strip("/").split("/") if path.strip("/") else []
+        if len(parts) != len(segments):
+            return None
+        params: dict[str, str] = {}
+        for segment, part in zip(segments, parts):
+            if segment.startswith("{") and segment.endswith("}"):
+                if not part:
+                    return None
+                params[segment[1:-1]] = part
+            elif segment != part:
+                return None
+        return params
+
+    async def dispatch(
+        self, request: Request, ctx: ServeContext
+    ) -> Response | StreamingResponse:
+        """Route a request: 404 unknown path, 405 known path wrong method.
+
+        ``HEAD`` is served through the matching ``GET`` handler with the
+        body stripped by the server, per RFC 9110.
+        """
+        method = "GET" if request.method == "HEAD" else request.method
+        allowed: list[str] = []
+        for route_method, segments, handler in self._routes:
+            params = self._match(segments, request.path)
+            if params is None:
+                continue
+            if route_method == method:
+                return await handler(request, params, ctx)
+            allowed.append(route_method)
+        if allowed:
+            raise HttpError(
+                405,
+                f"{request.method} not allowed on {request.path} "
+                f"(allowed: {', '.join(sorted(set(allowed)))})",
+                close=False,
+            )
+        raise HttpError(404, f"no such resource: {request.path}", close=False)
+
+
+# -- handlers ------------------------------------------------------------------
+
+
+async def handle_health(request: Request, params: dict[str, str], ctx: ServeContext) -> Response:
+    """``GET /v1/health`` — liveness, never builds the scenario."""
+    return Response(body=canonical_json(ctx.service.health_payload()))
+
+
+async def handle_config(request: Request, params: dict[str, str], ctx: ServeContext) -> Response:
+    """``GET /v1/config`` — scenario hash, executor policy, cache stats."""
+    return Response(body=canonical_json(ctx.service.config_payload()))
+
+
+async def handle_day(request: Request, params: dict[str, str], ctx: ServeContext) -> Response:
+    """``GET /v1/days/{date}`` — per-day observed + attack aggregates."""
+    service = ctx.service
+    vantage = request.param("vantage")
+    key = ("day", params["date"], vantage or "ixp")
+    body = await cached_payload_bytes(
+        ctx, key, lambda: service.day_payload(params["date"], vantage)
+    )
+    return Response(body=body)
+
+
+async def handle_series(request: Request, params: dict[str, str], ctx: ServeContext) -> Response:
+    """``GET /v1/series/takedown`` — daily selector series over a range."""
+    service = ctx.service
+    config = service.scenario_config
+    default_start = str(date_of(max(0, config.takedown_day - 10)))
+    default_end = str(
+        date_of(min(config.n_days - 1, config.takedown_day + 10))
+    )
+    start = request.param("start", default_start)
+    end = request.param("end", default_end)
+    selectors = request.param("selectors")
+    window = request.param("window")
+    vantage = request.param("vantage")
+    key = ("series", start, end, vantage or "ixp", selectors, window)
+    body = await cached_payload_bytes(
+        ctx,
+        key,
+        lambda: service.series_payload(start, end, vantage, selectors, window),
+    )
+    return Response(body=body)
+
+
+async def handle_victims(request: Request, params: dict[str, str], ctx: ServeContext) -> Response:
+    """``GET /v1/victims/top`` — top-N victims by renormalized peak Gbps."""
+    service = ctx.service
+    config = service.scenario_config
+    date = request.param("date", str(date_of(config.takedown_day - 1)))
+    vantage = request.param("vantage")
+    top = request.param("top")
+    key = ("victims", date, vantage or "ixp", top or "10")
+    body = await cached_payload_bytes(
+        ctx, key, lambda: service.victims_payload(date, vantage, top)
+    )
+    return Response(body=body)
+
+
+async def handle_events_stream(
+    request: Request, params: dict[str, str], ctx: ServeContext
+) -> StreamingResponse:
+    """``GET /v1/events/stream`` — SSE replay of a day range's attacks."""
+    service = ctx.service
+    config = service.scenario_config
+    start = request.param("start", str(date_of(config.takedown_day - 1)))
+    end = request.param("end", str(date_of(config.takedown_day)))
+    # Parse up front so malformed ranges 400 before the stream commits a
+    # 200 status line.
+    start_day = service.parse_day(start)
+    end_day = service.parse_day(end)
+    if end_day < start_day:
+        raise HttpError(400, f"end {end} precedes start {start}", close=False)
+    try:
+        limit = int(request.param("limit", str(MAX_STREAM_EVENTS)))
+    except ValueError:
+        raise HttpError(400, "invalid limit", close=False) from None
+    limit = max(1, min(limit, MAX_STREAM_EVENTS))
+
+    async def chunks() -> AsyncIterator[bytes]:
+        yield sse.RETRY_PREAMBLE
+        sent = 0
+        for day in range(start_day, end_day + 1):
+            key = ("events", day)
+            raw = await cached_payload_bytes(
+                ctx, key, lambda day=day: service.day_events_payload(day)
+            )
+            events = json.loads(raw)
+            yield sse.format_comment(f"day {date_of(day)} ({len(events)} events)")
+            for i, event in enumerate(events):
+                yield sse.format_event(event, event="attack", event_id=f"{day}-{i}")
+                sent += 1
+                metrics().inc("serve.sse_events")
+                if sent >= limit:
+                    break
+            if sent >= limit:
+                break
+        yield sse.format_event({"events_sent": sent}, event="end")
+
+    return StreamingResponse(chunks=chunks())
+
+
+def build_router() -> Router:
+    """The default endpoint table."""
+    router = Router()
+    router.add("GET", "/v1/health", handle_health)
+    router.add("GET", "/v1/config", handle_config)
+    router.add("GET", "/v1/days/{date}", handle_day)
+    router.add("GET", "/v1/series/takedown", handle_series)
+    router.add("GET", "/v1/victims/top", handle_victims)
+    router.add("GET", "/v1/events/stream", handle_events_stream)
+    return router

@@ -1,0 +1,444 @@
+"""The observatory HTTP server and its ``repro-serve`` CLI.
+
+:class:`ObservatoryServer` wires the pieces together over
+``asyncio.start_server``: each connection runs a keep-alive loop of
+:func:`~repro.serve.http.read_request` → rate-limit check → router
+dispatch → response write. Handler work that touches the pipeline runs
+in worker threads behind a bounded semaphore, coalesced per key by the
+single-flight table, so the event loop never blocks and N identical
+concurrent misses cost one compute.
+
+Failure containment is the point of the loop structure: a crashed
+handler answers 500 and the connection (and accept loop) live on; a
+protocol violation answers with its specific status and only drops the
+connection when resynchronization is impossible; a stalled client is
+timed out with 408 so slow-loris connections cannot pin resources.
+
+Every exchange is instrumented through :mod:`repro.obs`:
+``serve.requests``, ``serve.responses.<status>``, ``serve.errors``,
+``serve.slow_clients``, and the ``serve.latency_s`` histogram, next to
+the ``serve.cache_tier.*`` and ``serve.singleflight_*`` counters the
+lower layers record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import logging
+import time
+
+from repro.core.diskcache import DEFAULT_MAX_BYTES, DiskDayCache
+from repro.core.parallel import day_cache
+from repro.core.workerpool import EXECUTORS, set_execution_policy, shutdown_pool
+from repro.experiments.base import ExperimentConfig
+from repro.logutil import LOG_LEVELS, configure_cli_logging
+from repro.obs import MetricsRegistry, metrics, set_metrics
+from repro.serve.http import (
+    HttpError,
+    HttpLimits,
+    Request,
+    Response,
+    SlowClient,
+    read_request,
+    write_response,
+)
+from repro.serve.ratelimit import RateLimiter
+from repro.serve.routes import Router, ServeContext, StreamingResponse, build_router
+from repro.serve.service import ObservatoryService, canonical_json
+
+__all__ = ["ObservatoryServer", "main"]
+
+_log = logging.getLogger("repro.serve.server")
+
+
+def _error_response(
+    status: int,
+    detail: str,
+    *,
+    close: bool,
+    headers: tuple[tuple[str, str], ...] = (),
+) -> Response:
+    """A canonical-JSON error body: ``{"error": {"detail", "status"}}``."""
+    body = canonical_json({"error": {"status": status, "detail": detail}})
+    return Response(status=status, body=body, headers=headers, close=close)
+
+
+class ObservatoryServer:
+    """Asyncio HTTP server over an :class:`ObservatoryService`.
+
+    ``port=0`` binds an ephemeral port (read it back from :attr:`port`
+    after :meth:`start`), which is how the tests and the CI smoke step
+    run without reserving anything.
+    """
+
+    def __init__(
+        self,
+        service: ObservatoryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        limits: HttpLimits | None = None,
+        rate_limiter: RateLimiter | None = None,
+        compute_slots: int = 1,
+        router: Router | None = None,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self._requested_port = port
+        self.limits = limits or HttpLimits()
+        self.rate_limiter = rate_limiter
+        self.router = router or build_router()
+        semaphore = asyncio.Semaphore(compute_slots) if compute_slots > 0 else None
+        self.ctx = ServeContext(service=service, compute_semaphore=semaphore)
+        self._server: asyncio.AbstractServer | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting connections.
+
+        Pool-backed configs fork their workers here, before the first
+        client connection exists — forked workers must never inherit a
+        live connection fd (the peer would never see EOF on close).
+        """
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        warm = getattr(self.service, "warm_pool", None)
+        if warm is not None:
+            await asyncio.to_thread(warm)
+        self._server = await asyncio.start_server(
+            self._client_connected,
+            self.host,
+            self._requested_port,
+            # The stream limit bounds readuntil() for the request head, so
+            # an endless header stream fails fast as 431 instead of
+            # buffering without bound.
+            limit=self.limits.max_head_bytes,
+        )
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ephemeral ``port=0`` bindings)."""
+        if self._server is None:
+            raise RuntimeError("server not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise RuntimeError("server not started")
+        await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        """Stop accepting and close the listening sockets."""
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+
+    async def __aenter__(self) -> "ObservatoryServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.aclose()
+
+    # -- connection handling -------------------------------------------------
+
+    async def _client_connected(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One keep-alive connection: read requests until close or error."""
+        peer = writer.get_extra_info("peername")
+        client = peer[0] if isinstance(peer, tuple) else str(peer)
+        try:
+            while True:
+                keep_going = await self._one_exchange(reader, writer, client)
+                if not keep_going:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # peer went away mid-write; nothing left to tell it
+        except Exception:  # pragma: no cover - last-resort containment
+            _log.exception("unexpected error on connection from %s", client)
+            metrics().inc("serve.errors")
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _one_exchange(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        client: str,
+    ) -> bool:
+        """Serve one request/response; returns whether to keep the connection."""
+        registry = metrics()
+        try:
+            request = await read_request(reader, self.limits)
+        except SlowClient:
+            registry.inc("serve.slow_clients")
+            await self._respond(
+                writer, None, _error_response(408, "request timed out", close=True)
+            )
+            return False
+        except HttpError as exc:
+            response = _error_response(exc.status, exc.detail, close=exc.close)
+            await self._respond(writer, None, response)
+            return not exc.close
+        if request is None:
+            return False  # clean EOF between requests
+
+        registry.inc("serve.requests")
+        start = time.monotonic()
+        if self.rate_limiter is not None and not self.rate_limiter.allow(client):
+            registry.inc("serve.rate_limited")
+            response: Response | StreamingResponse = _error_response(
+                429,
+                "per-client rate limit exceeded",
+                close=False,
+                headers=(("Retry-After", "1"),),
+            )
+        else:
+            response = await self._dispatch(request)
+        if isinstance(response, StreamingResponse):
+            keep = await self._respond_streaming(writer, request, response)
+        else:
+            if not request.keep_alive:
+                response.close = True
+            keep = await self._respond(writer, request, response)
+        registry.observe("serve.latency_s", time.monotonic() - start)
+        return keep
+
+    async def _dispatch(self, request: Request) -> Response | StreamingResponse:
+        """Route one request; never lets a handler crash the connection."""
+        try:
+            return await self.router.dispatch(request, self.ctx)
+        except HttpError as exc:
+            return _error_response(exc.status, exc.detail, close=exc.close)
+        except Exception:
+            _log.exception("handler failed: %s %s", request.method, request.target)
+            metrics().inc("serve.errors")
+            return _error_response(500, "internal server error", close=False)
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        request: Request | None,
+        response: Response,
+    ) -> bool:
+        """Write a buffered response; returns whether to keep the connection."""
+        metrics().inc(f"serve.responses.{response.status}")
+        if request is not None and request.method == "HEAD" and response.body:
+            # HEAD answers with GET's headers (including the length the
+            # GET body would have) and no body, per RFC 9110.
+            response = Response(
+                status=response.status,
+                body=b"",
+                content_type=response.content_type,
+                headers=response.headers
+                + (
+                    ("Content-Length", str(len(response.body))),
+                    ("Content-Type", response.content_type),
+                ),
+                close=response.close,
+            )
+        try:
+            await write_response(writer, response)
+        except (ConnectionResetError, BrokenPipeError):
+            return False
+        return not response.close
+
+    async def _respond_streaming(
+        self,
+        writer: asyncio.StreamWriter,
+        request: Request,
+        response: StreamingResponse,
+    ) -> bool:
+        """Write a chunk stream (SSE); the connection always closes after.
+
+        Without a Content-Length the end of the body can only be
+        signalled by closing the connection, so streaming responses are
+        terminal for their connection.
+        """
+        metrics().inc(f"serve.responses.{response.status}")
+        head_lines = [
+            f"HTTP/1.1 {response.status} OK",
+            f"Content-Type: {response.content_type}",
+            "Connection: close",
+        ]
+        head_lines.extend(f"{name}: {value}" for name, value in response.headers)
+        writer.write(("\r\n".join(head_lines) + "\r\n\r\n").encode("latin-1"))
+        try:
+            await writer.drain()
+            if request.method == "HEAD":
+                return False
+            async for chunk in response.chunks:
+                writer.write(chunk)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client hung up mid-stream; normal for EventSource
+        return False
+
+
+# -- CLI -----------------------------------------------------------------------
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve the booter-takedown observatory over HTTP "
+        "(health, per-day aggregates, takedown series, victim stats, "
+        "SSE event replay) resolved through the day cache tiers.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        help="TCP port to bind (0 = pick an ephemeral port and print it)",
+    )
+    parser.add_argument("--preset", choices=("small", "paper"), default="small")
+    parser.add_argument("--seed", type=int, default=2018)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for day computation (0 = all cores)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=EXECUTORS,
+        default="process",
+        help="how cache misses compute: warm process pool, thread pool, "
+        "or inline (payloads are byte-identical across modes)",
+    )
+    parser.add_argument("--batch-days", dest="batch_days", type=int, default=0)
+    parser.add_argument("--day-shards", dest="day_shards", type=int, default=1)
+    parser.add_argument(
+        "--cache-dir",
+        dest="cache_dir",
+        metavar="PATH",
+        help="attach the persistent disk cache tier at PATH",
+    )
+    parser.add_argument(
+        "--cache-max-bytes",
+        dest="cache_max_bytes",
+        type=int,
+        default=DEFAULT_MAX_BYTES,
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        metavar="R",
+        help="per-client token-bucket rate limit, requests/second "
+        "(default: unlimited)",
+    )
+    parser.add_argument(
+        "--burst",
+        type=float,
+        default=None,
+        metavar="B",
+        help="token-bucket burst size (default: 2x --rate)",
+    )
+    parser.add_argument(
+        "--compute-slots",
+        dest="compute_slots",
+        type=int,
+        default=1,
+        metavar="N",
+        help="concurrent pipeline computations (0 = unbounded); each one "
+        "already parallelizes across --jobs workers internally",
+    )
+    parser.add_argument(
+        "--read-timeout",
+        dest="read_timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="per-read client timeout; stalled requests answer 408",
+    )
+    parser.add_argument(
+        "--log-level", choices=LOG_LEVELS, default="info"
+    )
+    return parser
+
+
+async def _run_server(args: argparse.Namespace, config: ExperimentConfig) -> int:
+    service = ObservatoryService(config)
+    limiter = RateLimiter(args.rate, args.burst) if args.rate else None
+    server = ObservatoryServer(
+        service,
+        args.host,
+        args.port,
+        limits=HttpLimits(read_timeout_s=args.read_timeout),
+        rate_limiter=limiter,
+        compute_slots=args.compute_slots,
+    )
+    await server.start()
+    # Machine-readable readiness line on stdout: the CI smoke step (and
+    # anything else scripting an ephemeral-port server) parses this.
+    print(f"SERVE_READY http://{args.host}:{server.port}", flush=True)
+    _log.info(
+        "observatory serving on http://%s:%d (preset=%s seed=%d executor=%s jobs=%d)",
+        args.host,
+        server.port,
+        config.preset,
+        config.seed,
+        config.executor,
+        config.jobs,
+    )
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.aclose()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point for ``repro-serve``."""
+    args = _parser().parse_args(argv)
+    configure_cli_logging(args.log_level)
+    set_metrics(MetricsRegistry(enabled=True))
+    config = ExperimentConfig(
+        preset=args.preset,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache=True,
+        cache_dir=args.cache_dir,
+        executor=args.executor,
+        batch_days=args.batch_days,
+        day_shards=args.day_shards,
+    )
+    disk = None
+    if args.cache_dir:
+        disk = DiskDayCache(args.cache_dir, max_bytes=args.cache_max_bytes)
+        day_cache().attach_disk(disk)
+        _log.info(
+            "disk cache attached at %s (%d entries)", disk.root, len(disk)
+        )
+    previous_policy = set_execution_policy(
+        executor=args.executor,
+        batch_days=args.batch_days,
+        day_shards=args.day_shards,
+    )
+    try:
+        return asyncio.run(_run_server(args, config))
+    except KeyboardInterrupt:
+        _log.info("interrupted; shutting down")
+        return 0
+    finally:
+        set_execution_policy(previous_policy)
+        shutdown_pool()
+        if disk is not None:
+            day_cache().attach_disk(None)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

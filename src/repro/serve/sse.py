@@ -1,0 +1,46 @@
+"""Server-Sent Events framing for the live attack-event replay feed.
+
+``/v1/events/stream`` replays a day range's ground-truth attack events
+as a ``text/event-stream`` — the transport an attack-map-style client
+consumes with a plain ``EventSource``. Framing follows the WHATWG
+EventSource rules: one ``event:``/``id:``/``data:`` block per event,
+terminated by a blank line; payload lines are JSON, so multi-line
+splitting never arises, but :func:`format_event` still splits on
+newlines defensively (a bare newline inside a ``data:`` value would
+desynchronize the stream).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+__all__ = ["format_event", "format_comment", "RETRY_PREAMBLE"]
+
+#: Stream preamble: tells clients to wait 5 s before reconnecting.
+RETRY_PREAMBLE = b"retry: 5000\n\n"
+
+
+def format_comment(text: str) -> bytes:
+    """A ``: comment`` frame (keep-alive / day-boundary marker)."""
+    safe = text.replace("\n", " ").replace("\r", " ")
+    return f": {safe}\n\n".encode("utf-8")
+
+
+def format_event(
+    data: Any, event: str | None = None, event_id: str | None = None
+) -> bytes:
+    """One SSE frame with JSON-encoded ``data``.
+
+    ``data`` is serialized compactly (sorted keys, so frames are
+    byte-stable like every other payload the server emits).
+    """
+    lines: list[str] = []
+    if event is not None:
+        lines.append(f"event: {event}")
+    if event_id is not None:
+        lines.append(f"id: {event_id}")
+    encoded = json.dumps(data, sort_keys=True, separators=(",", ":"), allow_nan=False)
+    for chunk in encoded.split("\n"):
+        lines.append(f"data: {chunk}")
+    return ("\n".join(lines) + "\n\n").encode("utf-8")

@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.mitigation",
     "repro.honeypot",
     "repro.obs",
+    "repro.serve",
 ]
 
 

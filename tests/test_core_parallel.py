@@ -553,3 +553,87 @@ class TestPerDayHook:
         plain = collect_daily_port_series(scenario, "ixp", SELECTORS, day_range=(40, 43))
         for name in ("ntp_to", "ntp_from"):
             np.testing.assert_array_equal(series.get(name), plain.get(name))
+
+
+class TestCacheThreadSafety:
+    """The caches are mutated from server worker threads concurrently.
+
+    The serving plane resolves requests in ``asyncio.to_thread`` workers
+    while pool callbacks insert results; before the cache grew its lock,
+    concurrent ``move_to_end``/``popitem`` could corrupt the LRU's
+    linked list or desynchronize ``resident_bytes`` from the entries.
+    """
+
+    N_THREADS = 8
+    OPS_PER_THREAD = 400
+
+    def test_concurrent_put_get_keeps_lru_invariants(self):
+        import threading
+
+        cache = DayResultCache(max_entries=32)
+        errors = []
+
+        def worker(worker_id: int) -> None:
+            rng = np.random.default_rng(worker_id)
+            try:
+                for op in range(self.OPS_PER_THREAD):
+                    key = ("k", int(rng.integers(0, 64)))
+                    if op % 3 == 0:
+                        cache.put(key, np.ones(int(rng.integers(1, 128))))
+                    else:
+                        cache.get(key)
+                    if op % 50 == 0:
+                        cache.stats()
+            except Exception as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(self.N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        # Bounded, and the byte tally matches the surviving entries
+        # exactly — a lost update would leave it drifted.
+        assert len(cache) <= 32
+        assert cache.resident_bytes == sum(cache._sizes.values())
+        assert set(cache._data) == set(cache._sizes)
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == pytest.approx(
+            self.N_THREADS * self.OPS_PER_THREAD * 2 / 3, rel=0.02
+        )
+
+    def test_concurrent_disk_tier_put_get(self, tmp_path):
+        import threading
+
+        from repro.core.diskcache import DiskDayCache
+
+        cache = DayResultCache(max_entries=16)
+        cache.attach_disk(DiskDayCache(tmp_path, max_bytes=1 << 20))
+        errors = []
+
+        def worker(worker_id: int) -> None:
+            rng = np.random.default_rng(100 + worker_id)
+            try:
+                for _ in range(100):
+                    key = ("d", int(rng.integers(0, 24)))
+                    # JSON-lane values so the disk tier accepts them.
+                    cache.put(key, ({"count": int(rng.integers(0, 10))}, None))
+                    cache.get(key)
+            except Exception as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        disk = cache.disk
+        assert disk.resident_bytes == sum(disk._index.values())
+        assert len(disk) <= 24
+        cache.attach_disk(None)
