@@ -45,6 +45,7 @@ from typing import Any, Callable, Sequence
 
 from repro.flows.shm import set_transport_threshold, transport_threshold, unwrap_table, wrap_table
 from repro.obs import MetricsRegistry, TraceRecorder, metrics, set_metrics, set_thread_metrics
+from repro.obs.trace import current_request_id, request_scope
 from repro.scenario.config import ScenarioConfig
 from repro.scenario.scenario import Scenario
 
@@ -204,22 +205,29 @@ def _probe_task(_item: Any) -> dict[str, Any]:
 
 
 def _metered_item(
-    fn: Callable[[Any], Any], item: Any, trace: bool, shm_threshold: int
+    fn: Callable[[Any], Any],
+    item: Any,
+    trace: bool,
+    shm_threshold: int,
+    request_id: str | None = None,
 ) -> tuple[Any, MetricsRegistry]:
     """Run one item under a fresh worker registry and ship both back.
 
     The fresh registry shadows whatever the worker inherited (under
     fork, the parent's already-populated registry), so nothing is double
     counted; the parent folds the returned registry in. With ``trace``
-    the worker also buffers span events (pid-stamped). Large flow-table
-    results detour through shared memory when ``shm_threshold`` allows
-    (negative disables the lane).
+    the worker also buffers span events (pid-stamped, and stamped with
+    ``request_id`` when the dispatch originated from a serve request, so
+    worker spans stitch under their HTTP request in the Perfetto
+    export). Large flow-table results detour through shared memory when
+    ``shm_threshold`` allows (negative disables the lane).
     """
     registry = MetricsRegistry(enabled=True, trace=TraceRecorder() if trace else None)
     previous = set_metrics(registry)
     start = time.perf_counter()
     try:
-        result = wrap_table(fn(item), shm_threshold)
+        with request_scope(request_id):
+            result = wrap_table(fn(item), shm_threshold)
     finally:
         registry.inc("pool.busy_s", time.perf_counter() - start)
         set_metrics(previous)
@@ -231,6 +239,7 @@ def _process_batch_task(
     metered: bool,
     trace: bool,
     shm_threshold: int,
+    request_id: str | None,
     batch: Sequence[Any],
 ) -> list[tuple[Any, MetricsRegistry | None]]:
     """One pool task covering a whole batch of items, one result each.
@@ -238,21 +247,28 @@ def _process_batch_task(
     Every item still runs under its own registry so the parent can
     attribute ``scenario.*`` deltas per day — batching only changes how
     many items share a dispatch, never the result granularity.
+    ``request_id`` is the originating serve request, forwarded explicitly
+    because context variables do not cross the process boundary.
     """
     if not metered:
         return [(wrap_table(fn(item), shm_threshold), None) for item in batch]
-    return [_metered_item(fn, item, trace, shm_threshold) for item in batch]
+    return [_metered_item(fn, item, trace, shm_threshold, request_id) for item in batch]
 
 
 def _thread_batch_task(
-    fn: Callable[[Any], Any], metered: bool, trace: bool, batch: Sequence[Any]
+    fn: Callable[[Any], Any],
+    metered: bool,
+    trace: bool,
+    request_id: str | None,
+    batch: Sequence[Any],
 ) -> list[tuple[Any, MetricsRegistry | None]]:
     """The thread-pool flavor: no pickling, no shm, thread-local metering.
 
     Worker threads share the parent's scenario objects and return
     results by reference. Each item's registry is installed via the
     thread-local override (:func:`repro.obs.set_thread_metrics`) so
-    concurrent tasks never interleave their counters.
+    concurrent tasks never interleave their counters; ``request_id`` is
+    bound per item because executor threads run in their own context.
     """
     if not metered:
         return [(fn(item), None) for item in batch]
@@ -262,7 +278,8 @@ def _thread_batch_task(
         previous = set_thread_metrics(registry)
         start = time.perf_counter()
         try:
-            result = fn(item)
+            with request_scope(request_id):
+                result = fn(item)
         finally:
             registry.inc("pool.busy_s", time.perf_counter() - start)
             set_thread_metrics(previous)
@@ -348,12 +365,17 @@ class WorkerPool:
         batches = [items[i : i + batch_size] for i in range(0, len(items), batch_size)]
         metered = registry.enabled
         trace = metered and registry.trace is not None
+        # Captured here, in the dispatching context, and forwarded into
+        # the workers: contextvars do not propagate across executor
+        # boundaries, and the id is what stitches worker spans to their
+        # originating serve request.
+        request_id = current_request_id() if trace else None
         if self.mode == "process":
             task = partial(
-                _process_batch_task, fn, metered, trace, transport_threshold()
+                _process_batch_task, fn, metered, trace, transport_threshold(), request_id
             )
         else:
-            task = partial(_thread_batch_task, fn, metered, trace)
+            task = partial(_thread_batch_task, fn, metered, trace, request_id)
         start = time.perf_counter()
         try:
             raw = list(self._executor.map(task, batches))

@@ -18,10 +18,34 @@ On top of the registry sit three run-comparison layers (PR 3):
   one ``repro.obs.run/1`` record per runner invocation (``--ledger``);
 * :mod:`repro.obs.cli` — the ``repro-obs`` tool that diffs two runs and
   classifies drift as logic change vs perf regression.
+
+The live telemetry plane (PR 8) adds two more:
+
+* :mod:`repro.obs.expo` — Prometheus text exposition (v0.0.4) rendering
+  + strict parsing/validation, served at ``/v1/metrics`` and consumed by
+  the ``repro-obs top`` dashboard;
+* :mod:`repro.obs.window` — ring-buffer rolling windows (per-second
+  rate, sliding p50/p99, error rate/SLO burn) surfaced in
+  ``/v1/health``.
+
+Request-scoped tracing lives in :mod:`repro.obs.trace`: the serving
+plane binds a request id per exchange (:func:`request_scope`), the
+worker pool forwards it across executor boundaries, and every trace
+event stamps it into its args — so one id connects an access-log line
+to its pool-worker spans in the Perfetto export.
 """
 
+from repro.obs.expo import (
+    EXPO_CONTENT_TYPE,
+    histogram_quantile,
+    parse_exposition,
+    render_exposition,
+    sanitize_metric_name,
+    validate_exposition,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
+    FINE_LATENCY_BUCKETS,
     Histogram,
     MetricsRegistry,
     SpanStats,
@@ -40,6 +64,8 @@ from repro.obs.profile import (
     render_profile,
 )
 from repro.obs.runledger import (
+    DETERMINISTIC_PREFIXES,
+    EXCLUDED_PREFIXES,
     RUN_SCHEMA,
     append_run_record,
     artifact_digest,
@@ -52,34 +78,54 @@ from repro.obs.trace import (
     TRACE_SCHEMA,
     TraceRecorder,
     chrome_trace_events,
+    current_request_id,
+    request_scope,
+    reset_request_id,
+    set_request_id,
     write_chrome_trace,
 )
+from repro.obs.window import RollingWindow, WindowSnapshot
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "DETERMINISTIC_PREFIXES",
+    "EXCLUDED_PREFIXES",
+    "EXPO_CONTENT_TYPE",
     "EXPORT_SCHEMA",
+    "FINE_LATENCY_BUCKETS",
     "RUN_SCHEMA",
     "TRACE_SCHEMA",
     "Histogram",
     "MetricsRegistry",
+    "RollingWindow",
     "SpanStats",
     "TraceRecorder",
+    "WindowSnapshot",
     "append_run_record",
     "artifact_digest",
     "build_run_record",
     "cache_hit_rate",
     "chrome_trace_events",
     "counter_digest",
+    "current_request_id",
     "deterministic_counters",
     "export_metrics",
+    "histogram_quantile",
     "load_export",
     "metrics",
+    "parse_exposition",
     "pool_utilization",
     "read_ledger",
     "registry_from_dict",
+    "render_exposition",
     "render_profile",
+    "request_scope",
+    "reset_request_id",
+    "sanitize_metric_name",
     "set_metrics",
+    "set_request_id",
     "set_thread_metrics",
     "use_metrics",
+    "validate_exposition",
     "write_chrome_trace",
 ]

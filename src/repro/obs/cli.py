@@ -1,9 +1,12 @@
-"""``repro-obs``: offline inspection and drift diffing of recorded runs.
+"""``repro-obs``: offline inspection, drift diffing, and live dashboard.
 
-Two subcommands over the observability artifacts the runner writes:
+Three subcommands over the observability artifacts and endpoints:
 
 * ``repro-obs show EXPORT`` — re-render the per-experiment and run-total
   profile tables from a ``--metrics-out`` JSON export, offline;
+* ``repro-obs top URL`` — poll a serving observatory's ``/v1/metrics``
+  exposition and render a live terminal dashboard (RPS, cache-tier hit
+  rates, latency quantiles, pool utilization, rate-limit drops);
 * ``repro-obs diff A B`` — compare two runs (metrics exports or run-ledger
   JSONL files, freely mixed) and classify the drift:
 
@@ -26,9 +29,13 @@ import argparse
 import json
 import logging
 import sys
+import time
+import urllib.error
+import urllib.request
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.obs.expo import MetricFamily, histogram_quantile, parse_exposition
 from repro.obs.profile import EXPORT_SCHEMA, load_export, registry_from_dict, render_profile
 from repro.obs.runledger import (
     RUN_SCHEMA,
@@ -37,7 +44,7 @@ from repro.obs.runledger import (
     read_ledger,
 )
 
-__all__ = ["main", "load_run_snapshot", "RunSnapshot"]
+__all__ = ["main", "load_run_snapshot", "render_top", "RunSnapshot"]
 
 # Explicit name: __name__ is "__main__" under ``python -m``, which would
 # fall outside the "repro" hierarchy configure_cli_logging sets up.
@@ -183,6 +190,157 @@ def _show(args: argparse.Namespace) -> int:
     return EXIT_CLEAN
 
 
+# -- live dashboard (`repro-obs top`) ------------------------------------------
+
+#: ANSI: home the cursor and clear the screen (the classic `top` refresh).
+_ANSI_CLEAR = "\x1b[H\x1b[2J"
+_BOLD = "\x1b[1m"
+_RESET = "\x1b[0m"
+
+
+@dataclass
+class _TopSample:
+    """One scrape of the exposition endpoint, timestamped locally."""
+
+    at: float
+    families: dict[str, MetricFamily]
+
+    def scalar(self, family: str, default: float = 0.0) -> float:
+        fam = self.families.get(family)
+        if fam is None:
+            return default
+        value = fam.value()
+        return default if value is None else value
+
+    def latency_buckets(self) -> list[tuple[float, float]]:
+        """Cumulative ``(le, count)`` buckets of the serve latency histogram."""
+        fam = self.families.get("serve_latency_s")
+        if fam is None or fam.type != "histogram":
+            return []
+        buckets = [
+            (float("inf") if s.label("le") in ("+Inf", "inf") else float(s.label("le")), s.value)
+            for s in fam.samples
+            if s.name == "serve_latency_s_bucket" and s.label("le") is not None
+        ]
+        return sorted(buckets, key=lambda pair: pair[0])
+
+
+def _fetch_sample(url: str, timeout: float) -> _TopSample:
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        text = response.read().decode("utf-8")
+    return _TopSample(at=time.monotonic(), families=parse_exposition(text))
+
+
+def _delta_buckets(
+    curr: list[tuple[float, float]], prev: list[tuple[float, float]]
+) -> list[tuple[float, float]]:
+    """Cumulative buckets of only the interval between two scrapes."""
+    if not prev or len(prev) != len(curr):
+        return curr
+    return [(le, count - old) for (le, count), (_, old) in zip(curr, prev)]
+
+
+def _fmt_ms(seconds: float | None) -> str:
+    return "-" if seconds is None else f"{seconds * 1e3:.2f}ms"
+
+
+def _fmt_rate(numerator: float, denominator: float) -> str:
+    return "-" if denominator <= 0 else f"{numerator / denominator:.1%}"
+
+
+def render_top(prev: _TopSample | None, curr: _TopSample, url: str) -> str:
+    """One dashboard frame from the current (and previous) scrape.
+
+    Pure text in, text out — the poll loop owns the terminal control —
+    so tests can assert on frames without a live screen.
+    """
+    dt = (curr.at - prev.at) if prev is not None else 0.0
+    requests = curr.scalar("serve_requests_total")
+    delta_requests = requests - (prev.scalar("serve_requests_total") if prev else 0.0)
+    if prev is not None and dt > 0:
+        rps = delta_requests / dt
+    else:
+        rps = curr.scalar("serve_window_rps_1m")
+
+    buckets = curr.latency_buckets()
+    window = _delta_buckets(buckets, prev.latency_buckets() if prev else [])
+    if not window or window[-1][1] <= 0:
+        window = buckets  # quiet interval: fall back to since-boot shape
+    p50 = histogram_quantile(window, 0.50)
+    p99 = histogram_quantile(window, 0.99)
+
+    tiers = {
+        tier: curr.scalar(f"serve_cache_tier_{tier}_total")
+        for tier in ("mem", "disk", "compute")
+    }
+    total_tiers = sum(tiers.values())
+    hits = curr.scalar("serve_singleflight_hits_total")
+    leaders = curr.scalar("serve_singleflight_leaders_total")
+    busy = curr.scalar("pool_busy_s_total")
+    capacity = curr.scalar("pool_capacity_s_total")
+
+    lines = [
+        f"{_BOLD}repro observatory{_RESET}  {url}",
+        f"uptime {curr.scalar('serve_uptime_s'):.0f}s"
+        f"  active connections {curr.scalar('serve_active_connections'):.0f}"
+        f"  interval {dt:.1f}s",
+        "",
+        f"{_BOLD}traffic{_RESET}"
+        f"  requests {requests:.0f} (+{delta_requests:.0f})"
+        f"  rps {rps:.1f}"
+        f"  errors {curr.scalar('serve_errors_total'):.0f}"
+        f"  rate-limited {curr.scalar('serve_rate_limited_total'):.0f}"
+        f"  sse events {curr.scalar('serve_sse_events_total'):.0f}",
+        f"{_BOLD}latency{_RESET}  p50 {_fmt_ms(p50)}  p99 {_fmt_ms(p99)}",
+        f"{_BOLD}cache tiers{_RESET}"
+        f"  mem {_fmt_rate(tiers['mem'], total_tiers)}"
+        f"  disk {_fmt_rate(tiers['disk'], total_tiers)}"
+        f"  compute {_fmt_rate(tiers['compute'], total_tiers)}"
+        f"  ({total_tiers:.0f} resolved)",
+        f"{_BOLD}dedup{_RESET}"
+        f"  singleflight hits {hits:.0f} / leaders {leaders:.0f}"
+        f"  coalesced {_fmt_rate(hits, hits + leaders)}",
+        f"{_BOLD}pool{_RESET}"
+        f"  workers {curr.scalar('pool_workers'):.0f}"
+        f"  utilization {_fmt_rate(busy, capacity)}"
+        f"  busy {busy:.2f}s / capacity {capacity:.2f}s",
+    ]
+    slo_burn = curr.scalar("serve_window_slo_burn_1m", default=-1.0)
+    if slo_burn >= 0:
+        lines.append(
+            f"{_BOLD}slo{_RESET}"
+            f"  1m burn {slo_burn:.2f}"
+            f"  error rate {curr.scalar('serve_window_error_rate_1m'):.4f}"
+        )
+    return "\n".join(lines)
+
+
+def _top(args: argparse.Namespace) -> int:
+    url = args.url.rstrip("/")
+    if not url.endswith("/v1/metrics"):
+        url = f"{url}/v1/metrics"
+    prev: _TopSample | None = None
+    iteration = 0
+    try:
+        while True:
+            try:
+                curr = _fetch_sample(url, timeout=args.timeout)
+            except (urllib.error.URLError, OSError, ValueError) as exc:
+                _log.error("cannot scrape %s: %s", url, exc)
+                return EXIT_ERROR
+            frame = render_top(prev, curr, url)
+            if not args.no_clear:
+                sys.stdout.write(_ANSI_CLEAR)
+            print(frame, flush=True)
+            prev = curr
+            iteration += 1
+            if args.iterations and iteration >= args.iterations:
+                return EXIT_CLEAN
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return EXIT_CLEAN
+
+
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-obs",
@@ -224,6 +382,32 @@ def _parser() -> argparse.ArgumentParser:
     )
     show.add_argument("export", help="metrics export JSON (repro.obs.export/1)")
     show.set_defaults(func=_show)
+
+    top = sub.add_parser(
+        "top", help="live terminal dashboard over a server's /v1/metrics"
+    )
+    top.add_argument(
+        "url",
+        help="server base URL (e.g. http://127.0.0.1:8321) or the full "
+        "/v1/metrics endpoint",
+    )
+    top.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="seconds between scrapes (default 2)",
+    )
+    top.add_argument(
+        "--iterations", type=int, default=0, metavar="N",
+        help="stop after N frames (default 0 = run until interrupted)",
+    )
+    top.add_argument(
+        "--timeout", type=float, default=5.0, metavar="SECONDS",
+        help="per-scrape HTTP timeout (default 5)",
+    )
+    top.add_argument(
+        "--no-clear", dest="no_clear", action="store_true",
+        help="append frames instead of clearing the screen (logs, tests)",
+    )
+    top.set_defaults(func=_top)
     return parser
 
 

@@ -1,0 +1,406 @@
+"""Prometheus text exposition (v0.0.4) rendering, parsing, and validation.
+
+The serving plane's live telemetry endpoint (``GET /v1/metrics``) renders
+the active :class:`~repro.obs.metrics.MetricsRegistry` in the Prometheus
+text exposition format so any off-the-shelf scraper — or the bundled
+``repro-obs top`` dashboard — can consume it:
+
+* counters become ``<name>_total`` samples with ``# HELP``/``# TYPE``
+  lines;
+* gauges are emitted verbatim;
+* fixed-bucket histograms become the cumulative
+  ``_bucket{le="..."}``/``_sum``/``_count`` triplet (the registry stores
+  per-bucket counts, so rendering re-accumulates them);
+* span call-tree nodes export as two labeled counter families
+  (``repro_span_calls_total{stage=...}`` / ``repro_span_seconds_total``),
+  which keeps the per-stage profile scrapeable without inventing one
+  metric family per span path.
+
+Metric names are sanitized mechanically (``.`` and every other invalid
+character become ``_``); a sanitization collision between two distinct
+source names raises instead of silently merging families.
+
+:func:`parse_exposition` is the strict inverse — every line must parse
+and every sample must belong to a declared family — and
+:func:`validate_exposition` adds the histogram conformance rules
+(buckets cumulative and monotone, ``+Inf`` bucket equal to ``_count``,
+``_sum`` present). The CI serve-smoke step and the conformance tests run
+real ``/v1/metrics`` output through it.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "EXPO_CONTENT_TYPE",
+    "MetricFamily",
+    "Sample",
+    "sanitize_metric_name",
+    "render_exposition",
+    "parse_exposition",
+    "validate_exposition",
+    "histogram_quantile",
+]
+
+#: Content type of the v0.0.4 text exposition format.
+EXPO_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Characters allowed in an exposition metric name, after the first.
+_INVALID_NAME_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: One ``label="value"`` pair; values use ``\\``, ``\"`` and ``\n`` escapes.
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+#: A sample line: ``name[{labels}] value [timestamp]``.
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})?\s+(\S+)(?:\s+(-?\d+))?$"
+)
+
+
+def sanitize_metric_name(name: str) -> str:
+    """A registry metric name as a valid exposition metric name.
+
+    Dots (the registry's family separator) and every other character
+    outside ``[a-zA-Z0-9_:]`` become underscores; a leading digit gets an
+    underscore prefix. The mapping is mechanical so it can be reproduced
+    by any consumer that only knows the registry name.
+    """
+    if not name:
+        raise ValueError("cannot sanitize an empty metric name")
+    out = _INVALID_NAME_CHARS.sub("_", name)
+    if out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _format_value(value: float) -> str:
+    """A sample value in exposition syntax (``+Inf``/``-Inf``/``NaN`` aware)."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _unescape_label_value(value: str) -> str:
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"\\": "\\", '"': '"', "n": "\n"}.get(nxt, nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _help_line(family: str, text: str) -> str:
+    safe = text.replace("\\", "\\\\").replace("\n", "\\n")
+    return f"# HELP {family} {safe}"
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One exposition sample: metric name, label set, value."""
+
+    name: str
+    labels: tuple[tuple[str, str], ...]
+    value: float
+
+    def label(self, key: str) -> str | None:
+        """The value of label ``key``, or ``None`` when absent."""
+        for name, value in self.labels:
+            if name == key:
+                return value
+        return None
+
+
+@dataclass
+class MetricFamily:
+    """One ``# TYPE``-declared family and the samples that belong to it."""
+
+    name: str
+    type: str
+    help: str = ""
+    samples: list[Sample] = field(default_factory=list)
+
+    def value(self, suffix: str = "", **labels: str) -> float | None:
+        """The first sample value matching ``name+suffix`` and ``labels``."""
+        target = self.name + suffix
+        for sample in self.samples:
+            if sample.name != target:
+                continue
+            if all(sample.label(k) == v for k, v in labels.items()):
+                return sample.value
+        return None
+
+
+def render_exposition(
+    registry: MetricsRegistry,
+    extra_gauges: Mapping[str, float] | None = None,
+) -> bytes:
+    """The registry's contents in Prometheus text exposition format.
+
+    ``extra_gauges`` ride along as additional gauge families — the serve
+    layer injects point-in-time values (rolling-window rates, active
+    connections) that live outside the registry. Raises ``ValueError``
+    if two distinct source names sanitize to the same family name.
+    """
+    lines: list[str] = []
+    families: dict[str, str] = {}
+
+    def claim(family: str, source: str) -> None:
+        previous = families.get(family)
+        if previous is not None and previous != source:
+            raise ValueError(
+                f"metric name collision after sanitization: {previous!r} and "
+                f"{source!r} both map to exposition family {family!r}"
+            )
+        families[family] = source
+
+    for name in sorted(registry.counters):
+        family = sanitize_metric_name(name) + "_total"
+        claim(family, name)
+        lines.append(_help_line(family, f"Counter {name} from the repro metrics registry."))
+        lines.append(f"# TYPE {family} counter")
+        lines.append(f"{family} {_format_value(registry.counters[name])}")
+
+    gauges: dict[str, float] = dict(registry.gauges)
+    for name, value in (extra_gauges or {}).items():
+        gauges[name] = float(value)
+    for name in sorted(gauges):
+        family = sanitize_metric_name(name)
+        claim(family, name)
+        lines.append(_help_line(family, f"Gauge {name} from the repro metrics registry."))
+        lines.append(f"# TYPE {family} gauge")
+        lines.append(f"{family} {_format_value(gauges[name])}")
+
+    for name in sorted(registry.histograms):
+        histogram = registry.histograms[name]
+        family = sanitize_metric_name(name)
+        claim(family, name)
+        lines.append(_help_line(family, f"Histogram {name} from the repro metrics registry."))
+        lines.append(f"# TYPE {family} histogram")
+        cumulative = 0
+        for bound, count in zip(histogram.buckets, histogram.counts):
+            cumulative += count
+            le = "+Inf" if math.isinf(bound) else _format_value(bound)
+            lines.append(f'{family}_bucket{{le="{le}"}} {cumulative}')
+        lines.append(f"{family}_sum {_format_value(histogram.total)}")
+        lines.append(f"{family}_count {histogram.count}")
+
+    if registry.spans:
+        for family, unit in (
+            ("repro_span_calls_total", "calls"),
+            ("repro_span_seconds_total", "seconds"),
+        ):
+            claim(family, family)
+            lines.append(
+                _help_line(family, f"Span call-tree {unit} per stage path.")
+            )
+            lines.append(f"# TYPE {family} counter")
+            for path, node in sorted(registry.spans.items()):
+                stage = _escape_label_value("/".join(path))
+                value = node.calls if unit == "calls" else node.total_s
+                lines.append(f'{family}{{stage="{stage}"}} {_format_value(value)}')
+
+    if not lines:
+        return b""
+    return ("\n".join(lines) + "\n").encode("utf-8")
+
+
+def _parse_labels(raw: str, lineno: int) -> tuple[tuple[str, str], ...]:
+    body = raw[1:-1].strip()
+    if not body:
+        return ()
+    labels: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(body):
+        match = _LABEL_RE.match(body, pos)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed label set {raw!r}")
+        labels.append((match.group(1), _unescape_label_value(match.group(2))))
+        pos = match.end()
+        if pos < len(body):
+            if body[pos] != ",":
+                raise ValueError(f"line {lineno}: malformed label set {raw!r}")
+            pos += 1
+            while pos < len(body) and body[pos] == " ":
+                pos += 1
+    return tuple(labels)
+
+
+def _parse_sample_value(raw: str, lineno: int) -> float:
+    lowered = raw.lower()
+    if lowered in ("+inf", "inf"):
+        return math.inf
+    if lowered == "-inf":
+        return -math.inf
+    if lowered == "nan":
+        return math.nan
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(f"line {lineno}: unparseable sample value {raw!r}") from None
+
+
+#: Sample-name suffixes a histogram family owns besides its bare name.
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def parse_exposition(text: str) -> dict[str, MetricFamily]:
+    """Parse exposition text into its metric families, strictly.
+
+    Every non-comment line must be a valid sample, every sample must
+    belong to a ``# TYPE``-declared family (histogram samples attach via
+    their ``_bucket``/``_sum``/``_count`` suffixes), and a family must
+    not be declared twice. Violations raise :class:`ValueError` naming
+    the line.
+    """
+    families: dict[str, MetricFamily] = {}
+    typed: set[str] = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                name = parts[2]
+                kind = parts[3] if len(parts) > 3 else ""
+                if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                    raise ValueError(f"line {lineno}: unknown metric type {kind!r}")
+                if name in typed:
+                    raise ValueError(f"line {lineno}: family {name!r} declared twice")
+                typed.add(name)
+                if name in families:
+                    families[name].type = kind  # HELP line preceded TYPE
+                else:
+                    families[name] = MetricFamily(name=name, type=kind)
+            elif len(parts) >= 3 and parts[1] == "HELP":
+                name = parts[2]
+                help_text = parts[3] if len(parts) > 3 else ""
+                if name in families:
+                    families[name].help = help_text
+                else:
+                    families[name] = MetricFamily(name=name, type="untyped", help=help_text)
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: unparseable sample line {line!r}")
+        name, raw_labels, raw_value = match.group(1), match.group(2), match.group(3)
+        labels = _parse_labels(raw_labels, lineno) if raw_labels else ()
+        value = _parse_sample_value(raw_value, lineno)
+        family = families.get(name)
+        if family is None:
+            for suffix in _HISTOGRAM_SUFFIXES:
+                if name.endswith(suffix):
+                    base = families.get(name[: -len(suffix)])
+                    if base is not None and base.type == "histogram":
+                        family = base
+                        break
+        if family is None:
+            raise ValueError(
+                f"line {lineno}: sample {name!r} has no preceding # TYPE declaration"
+            )
+        family.samples.append(Sample(name=name, labels=labels, value=value))
+    return families
+
+
+def _validate_histogram(family: MetricFamily) -> None:
+    buckets: list[tuple[float, float]] = []
+    total_sum: float | None = None
+    count: float | None = None
+    for sample in family.samples:
+        if sample.name == family.name + "_bucket":
+            le = sample.label("le")
+            if le is None:
+                raise ValueError(f"{family.name}: bucket sample without an le label")
+            buckets.append((_parse_sample_value(le, 0), sample.value))
+        elif sample.name == family.name + "_sum":
+            total_sum = sample.value
+        elif sample.name == family.name + "_count":
+            count = sample.value
+    if not buckets:
+        raise ValueError(f"{family.name}: histogram has no buckets")
+    if total_sum is None:
+        raise ValueError(f"{family.name}: histogram is missing its _sum sample")
+    if count is None:
+        raise ValueError(f"{family.name}: histogram is missing its _count sample")
+    bounds = [le for le, _ in buckets]
+    if bounds != sorted(bounds):
+        raise ValueError(f"{family.name}: bucket le bounds are not ascending")
+    counts = [c for _, c in buckets]
+    if counts != sorted(counts):
+        raise ValueError(f"{family.name}: bucket counts are not cumulative/monotone")
+    if not math.isinf(bounds[-1]):
+        raise ValueError(f"{family.name}: histogram is missing its +Inf bucket")
+    if counts[-1] != count:
+        raise ValueError(
+            f"{family.name}: +Inf bucket ({counts[-1]:g}) disagrees with "
+            f"_count ({count:g})"
+        )
+
+
+def validate_exposition(text: str) -> dict[str, MetricFamily]:
+    """Parse and conformance-check exposition text.
+
+    On top of :func:`parse_exposition`'s strict line grammar this
+    enforces the histogram rules: every histogram family must carry
+    ascending ``le`` bounds with cumulative, monotone bucket counts, a
+    ``+Inf`` bucket agreeing with ``_count``, and a ``_sum`` sample.
+    Returns the parsed families for further inspection.
+    """
+    families = parse_exposition(text)
+    for family in families.values():
+        if family.type == "histogram":
+            _validate_histogram(family)
+    return families
+
+
+def histogram_quantile(
+    buckets: Sequence[tuple[float, float]], q: float
+) -> float | None:
+    """Estimate quantile ``q`` from cumulative ``(le, count)`` buckets.
+
+    Standard Prometheus-style linear interpolation inside the bucket the
+    rank falls into (the lowest bucket interpolates from zero, the
+    ``+Inf`` bucket answers with the highest finite bound). Returns
+    ``None`` when the histogram is empty. ``buckets`` must be cumulative
+    and sorted by bound, as rendered/parsed by this module.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if not buckets:
+        return None
+    total = buckets[-1][1]
+    if total <= 0:
+        return None
+    rank = q * total
+    previous_bound = 0.0
+    previous_count = 0.0
+    for bound, count in buckets:
+        if count >= rank:
+            if math.isinf(bound):
+                return previous_bound
+            if count == previous_count:
+                return bound
+            fraction = (rank - previous_count) / (count - previous_count)
+            return previous_bound + (bound - previous_bound) * fraction
+        previous_bound, previous_count = (0.0 if math.isinf(bound) else bound), count
+    return previous_bound

@@ -23,9 +23,15 @@ Naming conventions (relied on by tests and the profile report):
   ``jobs=1`` and ``jobs=N`` runs of the same work, cached or not (the
   day cache stores each day's ``scenario.*`` deltas and replays them on
   hits, so these counters measure logical rather than physical work);
-* timing counters end in ``_s`` (seconds) and cache/pool counters live
-  under ``cache.`` / ``pool.`` — all three are execution-strategy
-  dependent and excluded from determinism comparisons.
+* timing counters end in ``_s`` (seconds) and execution-strategy
+  metrics live under the ``cache.`` / ``pool.`` / ``serve.`` / ``shm.``
+  / ``visibility.`` / ``parallel.`` families — all of these are
+  strategy- or load-dependent and excluded from determinism comparisons
+  (the authoritative prefix lists are
+  :data:`repro.obs.runledger.DETERMINISTIC_PREFIXES` and
+  :data:`repro.obs.runledger.EXCLUDED_PREFIXES`; the hygiene test in
+  ``tests/test_obs_metric_hygiene.py`` enforces that every recorded
+  name belongs to exactly one of them).
 """
 
 from __future__ import annotations
@@ -40,6 +46,7 @@ from repro.obs.trace import TraceRecorder
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "FINE_LATENCY_BUCKETS",
     "Histogram",
     "SpanStats",
     "MetricsRegistry",
@@ -62,6 +69,12 @@ DEFAULT_BUCKETS: tuple[float, ...] = (
     10.0,
     float("inf"),
 )
+
+#: Latency buckets with sub-millisecond resolution prepended. Warm serve
+#: responses sit well under 1 ms, so :data:`DEFAULT_BUCKETS` collapses
+#: them all into its lowest bucket and p50/p99 become unreadable; the
+#: serve latency histogram uses these instead.
+FINE_LATENCY_BUCKETS: tuple[float, ...] = (0.0001, 0.00025, 0.0005) + DEFAULT_BUCKETS
 
 
 @dataclass

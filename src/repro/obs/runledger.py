@@ -30,6 +30,7 @@ from typing import Any, Mapping
 __all__ = [
     "RUN_SCHEMA",
     "DETERMINISTIC_PREFIXES",
+    "EXCLUDED_PREFIXES",
     "deterministic_counters",
     "counter_digest",
     "artifact_digest",
@@ -44,6 +45,20 @@ RUN_SCHEMA = "repro.obs.run/1"
 #: Counter families that measure *logical* work and must not depend on the
 #: execution strategy (see :mod:`repro.obs.metrics` naming conventions).
 DETERMINISTIC_PREFIXES: tuple[str, ...] = ("scenario.", "streaming.", "pipeline.")
+
+#: Counter families that measure *physical* execution (strategy, load,
+#: transport) and are therefore excluded from the drift digest. Every
+#: recorded metric name must live under exactly one of these two prefix
+#: lists — enforced by ``tests/test_obs_metric_hygiene.py`` so new
+#: instrumentation cannot silently pollute the digest.
+EXCLUDED_PREFIXES: tuple[str, ...] = (
+    "cache.",
+    "pool.",
+    "serve.",
+    "shm.",
+    "visibility.",
+    "parallel.",
+)
 
 
 def deterministic_counters(counters: Mapping[str, float]) -> dict[str, float]:

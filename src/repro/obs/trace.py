@@ -17,22 +17,69 @@ Timestamps are ``time.perf_counter()`` microseconds. On Linux that clock
 is ``CLOCK_MONOTONIC``, which shares its epoch across processes, so
 parent and worker events interleave correctly; the export re-bases all
 timestamps to the earliest event.
+
+**Request-scoped tracing.** The serving plane assigns every HTTP request
+an id and installs it in the :data:`current_request_id` context variable
+(:func:`request_scope`). :meth:`TraceRecorder.record` stamps the current
+id into every event's args, and the worker pool forwards the id across
+the process/thread-pool boundary, so a pool-worker span stitches back to
+the HTTP request that caused it: filtering the Perfetto export on
+``args.request_id`` shows one request's full serve → pool timeline.
 """
 
 from __future__ import annotations
 
+import contextvars
 import json
 import os
 import threading
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterator
 
 __all__ = [
     "TRACE_SCHEMA",
     "TraceRecorder",
     "chrome_trace_events",
     "write_chrome_trace",
+    "current_request_id",
+    "set_request_id",
+    "reset_request_id",
+    "request_scope",
 ]
+
+#: The id of the request the current task/thread is working for, or
+#: ``None`` outside any request. Context variables propagate through
+#: ``asyncio`` task creation and ``asyncio.to_thread``, so serve-side
+#: spans inherit the id for free; pool tasks forward it explicitly.
+_REQUEST_ID: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "repro_request_id", default=None
+)
+
+
+def current_request_id() -> str | None:
+    """The request id bound to the current context, if any."""
+    return _REQUEST_ID.get()
+
+
+def set_request_id(request_id: str | None) -> contextvars.Token:
+    """Bind ``request_id`` to the current context; returns a reset token."""
+    return _REQUEST_ID.set(request_id)
+
+
+def reset_request_id(token: contextvars.Token) -> None:
+    """Undo a :func:`set_request_id` using its token."""
+    _REQUEST_ID.reset(token)
+
+
+@contextmanager
+def request_scope(request_id: str | None) -> Iterator[str | None]:
+    """Scope ``request_id`` as the current request for a ``with`` block."""
+    token = _REQUEST_ID.set(request_id)
+    try:
+        yield request_id
+    finally:
+        _REQUEST_ID.reset(token)
 
 #: Version tag embedded in the exported trace file (under ``otherData``).
 TRACE_SCHEMA = "repro.obs.trace/1"
@@ -68,10 +115,19 @@ class TraceRecorder:
         duration_s: float,
         args: dict[str, Any] | None = None,
     ) -> None:
-        """Record one completed span (``start_s`` in perf_counter seconds)."""
+        """Record one completed span (``start_s`` in perf_counter seconds).
+
+        When a request id is bound in the current context (see
+        :func:`request_scope`) it is stamped into the event args as
+        ``request_id``, without overriding an explicit value.
+        """
         if len(self.events) >= self.max_events:
             self.dropped += 1
             return
+        request_id = _REQUEST_ID.get()
+        if request_id is not None:
+            args = dict(args) if args else {}
+            args.setdefault("request_id", request_id)
         self.events.append(
             (
                 name,

@@ -1,0 +1,167 @@
+"""Rolling-window service telemetry: rates, sliding quantiles, SLO burn.
+
+Cumulative counters answer "how much since boot"; a long-running
+observatory also needs "how is it doing *right now*". A
+:class:`RollingWindow` keeps a ring buffer of per-second slots (request
+count, error count, latency sum, a bounded latency sample reservoir) and
+answers snapshot queries over any trailing window that fits in its
+horizon — per-second rate, error rate, sliding p50/p99 latency, and SLO
+burn rate (error rate over the error budget of an availability
+objective; burn > 1 means the budget is being spent faster than it
+accrues).
+
+The serve middleware records every exchange into one shared window and
+``/v1/health`` surfaces 1m/5m snapshots, so a plain health poll doubles
+as an SLO probe. Everything is stdlib, O(horizon) memory, and safe to
+call from multiple threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = [
+    "RollingWindow",
+    "WindowSnapshot",
+    "DEFAULT_OBJECTIVE",
+]
+
+#: Default availability objective for SLO burn: 99.9% of requests succeed.
+DEFAULT_OBJECTIVE = 0.999
+
+
+@dataclass(frozen=True)
+class WindowSnapshot:
+    """Point-in-time summary of one trailing window."""
+
+    window_s: int
+    requests: int
+    errors: int
+    rps: float
+    error_rate: float
+    slo_burn: float
+    p50_s: float | None
+    p99_s: float | None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (latencies in milliseconds for readability)."""
+        return {
+            "window_s": self.window_s,
+            "requests": self.requests,
+            "errors": self.errors,
+            "rps": round(self.rps, 3),
+            "error_rate": round(self.error_rate, 6),
+            "slo_burn": round(self.slo_burn, 3),
+            "p50_ms": None if self.p50_s is None else round(self.p50_s * 1e3, 3),
+            "p99_ms": None if self.p99_s is None else round(self.p99_s * 1e3, 3),
+        }
+
+
+class _Slot:
+    """Aggregates for one wall-clock second."""
+
+    __slots__ = ("second", "count", "errors", "total_s", "samples", "overflow")
+
+    def __init__(self, second: int) -> None:
+        self.second = second
+        self.count = 0
+        self.errors = 0
+        self.total_s = 0.0
+        self.samples: list[float] = []
+        self.overflow = 0
+
+
+def _quantile(ordered: list[float], q: float) -> float:
+    """Linear-interpolated quantile of an already-sorted sample list."""
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = q * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] + (ordered[high] - ordered[low]) * fraction
+
+
+class RollingWindow:
+    """Ring buffer of per-second request slots with snapshot queries.
+
+    ``horizon_s`` bounds the largest queryable window; ``slot_samples``
+    caps the latency samples retained per second (excess observations
+    still count toward rates, they just stop contributing to the
+    quantile reservoir). ``clock`` is injectable for deterministic
+    tests and must be monotone non-decreasing.
+    """
+
+    def __init__(
+        self,
+        horizon_s: int = 300,
+        slot_samples: int = 128,
+        objective: float = DEFAULT_OBJECTIVE,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if horizon_s <= 0:
+            raise ValueError(f"horizon_s must be positive, got {horizon_s}")
+        if slot_samples <= 0:
+            raise ValueError(f"slot_samples must be positive, got {slot_samples}")
+        if not 0.0 < objective < 1.0:
+            raise ValueError(f"objective must be in (0, 1), got {objective}")
+        self.horizon_s = horizon_s
+        self.slot_samples = slot_samples
+        self.objective = objective
+        self._clock = clock
+        self._slots: list[_Slot] = [_Slot(-1) for _ in range(horizon_s)]
+        self._created = clock()
+        self._lock = threading.Lock()
+
+    def record(self, latency_s: float, error: bool = False) -> None:
+        """Record one finished request into the current second's slot."""
+        second = int(self._clock())
+        with self._lock:
+            slot = self._slots[second % self.horizon_s]
+            if slot.second != second:
+                # The ring wrapped past this slot's old second: recycle it.
+                slot.__init__(second)
+            slot.count += 1
+            if error:
+                slot.errors += 1
+            slot.total_s += latency_s
+            if len(slot.samples) < self.slot_samples:
+                slot.samples.append(latency_s)
+            else:
+                slot.overflow += 1
+
+    def snapshot(self, window_s: int = 60) -> WindowSnapshot:
+        """Summarize the trailing ``window_s`` seconds (<= the horizon)."""
+        if not 0 < window_s <= self.horizon_s:
+            raise ValueError(
+                f"window_s must be in (0, {self.horizon_s}], got {window_s}"
+            )
+        with self._lock:
+            now = self._clock()
+            current = int(now)
+            requests = errors = 0
+            samples: list[float] = []
+            for second in range(current - window_s + 1, current + 1):
+                slot = self._slots[second % self.horizon_s]
+                if slot.second != second:
+                    continue  # stale slot from a previous ring revolution
+                requests += slot.count
+                errors += slot.errors
+                samples.extend(slot.samples)
+            elapsed = max(now - self._created, 1e-9)
+        denominator = min(float(window_s), elapsed) or 1e-9
+        error_rate = errors / requests if requests else 0.0
+        samples.sort()
+        return WindowSnapshot(
+            window_s=window_s,
+            requests=requests,
+            errors=errors,
+            rps=requests / denominator,
+            error_rate=error_rate,
+            slo_burn=error_rate / (1.0 - self.objective),
+            p50_s=_quantile(samples, 0.50) if samples else None,
+            p99_s=_quantile(samples, 0.99) if samples else None,
+        )

@@ -18,11 +18,15 @@ requests.
 from __future__ import annotations
 
 import asyncio
+import datetime
 import json
+import time
 from dataclasses import dataclass, field
 from typing import Any, AsyncIterator, Awaitable, Callable
 
 from repro.obs import metrics
+from repro.obs.expo import EXPO_CONTENT_TYPE, render_exposition
+from repro.obs.window import RollingWindow
 from repro.serve import sse
 from repro.serve.http import HttpError, Request, Response
 from repro.serve.service import ObservatoryService, canonical_json
@@ -32,6 +36,7 @@ from repro.timeutil import date_of
 __all__ = [
     "Router",
     "ServeContext",
+    "ServerState",
     "StreamingResponse",
     "build_router",
     "cached_payload_bytes",
@@ -39,6 +44,37 @@ __all__ = [
 
 #: Cap on SSE replay volume per request (events, then the stream ends).
 MAX_STREAM_EVENTS = 10_000
+
+#: Seconds of stream silence before an SSE comment heartbeat is sent so
+#: idle ``/v1/events/stream`` clients (waiting on a slow day compute)
+#: don't trip proxy/read timeouts. Tests shrink this via monkeypatch.
+SSE_HEARTBEAT_S = 15.0
+
+
+@dataclass
+class ServerState:
+    """Live operational state of one server instance.
+
+    Written by the server's exchange loop, read by the health/metrics
+    handlers. ``windows`` feeds the rolling-window SLO snapshots in
+    ``/v1/health``; ``access_log`` is the structured JSONL writer (or
+    ``None`` when ``--access-log`` is off).
+    """
+
+    started_at_wall: float = field(default_factory=time.time)
+    started_at_mono: float = field(default_factory=time.monotonic)
+    windows: RollingWindow | None = None
+    access_log: Any = None
+    active_connections: int = 0
+
+    def uptime_s(self) -> float:
+        return time.monotonic() - self.started_at_mono
+
+    def started_at_iso(self) -> str:
+        started = datetime.datetime.fromtimestamp(
+            self.started_at_wall, tz=datetime.timezone.utc
+        )
+        return started.isoformat(timespec="seconds").replace("+00:00", "Z")
 
 
 @dataclass
@@ -48,6 +84,7 @@ class ServeContext:
     service: ObservatoryService
     flights: SingleFlight = field(default_factory=SingleFlight)
     compute_semaphore: asyncio.Semaphore | None = None
+    state: ServerState | None = None
 
     async def compute(self, fn: Callable[[], Any]) -> Any:
         """Run blocking pipeline work in a thread, bounded by the semaphore."""
@@ -148,8 +185,59 @@ class Router:
 
 
 async def handle_health(request: Request, params: dict[str, str], ctx: ServeContext) -> Response:
-    """``GET /v1/health`` — liveness, never builds the scenario."""
-    return Response(body=canonical_json(ctx.service.health_payload()))
+    """``GET /v1/health`` — liveness, never builds the scenario.
+
+    With server state attached the probe doubles as an SLO check:
+    uptime, start time, package version, active connections, and 1m/5m
+    rolling-window snapshots (RPS, p50/p99 latency, error rate, SLO
+    burn).
+    """
+    payload = ctx.service.health_payload()
+    state = ctx.state
+    if state is not None:
+        payload["uptime_seconds"] = round(state.uptime_s(), 3)
+        payload["started_at"] = state.started_at_iso()
+        payload["active_connections"] = state.active_connections
+        if state.windows is not None:
+            payload["slo"] = {
+                "1m": state.windows.snapshot(60).to_dict(),
+                "5m": state.windows.snapshot(300).to_dict(),
+            }
+    return Response(body=canonical_json(payload))
+
+
+def _window_gauges(state: ServerState) -> dict[str, float]:
+    """Point-in-time serve gauges that live outside the registry."""
+    gauges: dict[str, float] = {
+        "serve.active_connections": float(state.active_connections),
+        "serve.uptime_s": state.uptime_s(),
+    }
+    if state.windows is not None:
+        for window_s, label in ((60, "1m"), (300, "5m")):
+            snap = state.windows.snapshot(window_s)
+            gauges[f"serve.window.rps.{label}"] = snap.rps
+            gauges[f"serve.window.error_rate.{label}"] = snap.error_rate
+            gauges[f"serve.window.slo_burn.{label}"] = snap.slo_burn
+            if snap.p50_s is not None:
+                gauges[f"serve.window.p50_s.{label}"] = snap.p50_s
+            if snap.p99_s is not None:
+                gauges[f"serve.window.p99_s.{label}"] = snap.p99_s
+    return gauges
+
+
+async def handle_metrics(request: Request, params: dict[str, str], ctx: ServeContext) -> Response:
+    """``GET /v1/metrics`` — the live registry in Prometheus exposition.
+
+    Renders whatever the active registry has accumulated (``serve.*``,
+    ``cache.*``, ``pool.*``, plus the deterministic pipeline families),
+    with rolling-window rates and connection counts riding along as
+    extra gauges. A disabled registry renders its (empty) contents
+    rather than erroring, so the endpoint is always scrape-safe.
+    """
+    registry = metrics()
+    extra = _window_gauges(ctx.state) if ctx.state is not None else None
+    body = render_exposition(registry, extra_gauges=extra)
+    return Response(body=body, content_type=EXPO_CONTENT_TYPE)
 
 
 async def handle_config(request: Request, params: dict[str, str], ctx: ServeContext) -> Response:
@@ -229,9 +317,24 @@ async def handle_events_stream(
         sent = 0
         for day in range(start_day, end_day + 1):
             key = ("events", day)
-            raw = await cached_payload_bytes(
-                ctx, key, lambda day=day: service.day_events_payload(day)
+            # A cold day can take seconds to compute; keep the idle
+            # stream alive with comment heartbeats so proxies and client
+            # read timeouts don't drop the connection meanwhile.
+            task = asyncio.ensure_future(
+                cached_payload_bytes(
+                    ctx, key, lambda day=day: service.day_events_payload(day)
+                )
             )
+            try:
+                while True:
+                    done, _ = await asyncio.wait({task}, timeout=SSE_HEARTBEAT_S)
+                    if done:
+                        raw = task.result()
+                        break
+                    yield sse.format_comment("heartbeat")
+                    metrics().inc("serve.sse_heartbeats")
+            finally:
+                task.cancel()
             events = json.loads(raw)
             yield sse.format_comment(f"day {date_of(day)} ({len(events)} events)")
             for i, event in enumerate(events):
@@ -251,6 +354,7 @@ def build_router() -> Router:
     """The default endpoint table."""
     router = Router()
     router.add("GET", "/v1/health", handle_health)
+    router.add("GET", "/v1/metrics", handle_metrics)
     router.add("GET", "/v1/config", handle_config)
     router.add("GET", "/v1/days/{date}", handle_day)
     router.add("GET", "/v1/series/takedown", handle_series)

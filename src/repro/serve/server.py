@@ -16,24 +16,39 @@ timed out with 408 so slow-loris connections cannot pin resources.
 
 Every exchange is instrumented through :mod:`repro.obs`:
 ``serve.requests``, ``serve.responses.<status>``, ``serve.errors``,
-``serve.slow_clients``, and the ``serve.latency_s`` histogram, next to
-the ``serve.cache_tier.*`` and ``serve.singleflight_*`` counters the
-lower layers record.
+``serve.slow_clients``, and the ``serve.latency_s`` histogram
+(sub-millisecond buckets — warm responses live there), next to the
+``serve.cache_tier.*`` and ``serve.singleflight_*`` counters the lower
+layers record. Each request additionally gets a request id (honoring an
+inbound ``X-Request-Id``) that is echoed in the response headers,
+written to the JSONL access log (``--access-log``), and bound to the
+request's context so every trace event it causes — down to pool-worker
+spans — carries it (see :mod:`repro.obs.trace`).
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import itertools
+import json
 import logging
+import os
+import re
+import threading
 import time
+from pathlib import Path
+from typing import Any
 
 from repro.core.diskcache import DEFAULT_MAX_BYTES, DiskDayCache
 from repro.core.parallel import day_cache
 from repro.core.workerpool import EXECUTORS, set_execution_policy, shutdown_pool
 from repro.experiments.base import ExperimentConfig
 from repro.logutil import LOG_LEVELS, configure_cli_logging
-from repro.obs import MetricsRegistry, metrics, set_metrics
+from repro.obs import MetricsRegistry, TraceRecorder, metrics, set_metrics, write_chrome_trace
+from repro.obs.metrics import FINE_LATENCY_BUCKETS
+from repro.obs.trace import reset_request_id, set_request_id
+from repro.obs.window import RollingWindow
 from repro.serve.http import (
     HttpError,
     HttpLimits,
@@ -44,10 +59,41 @@ from repro.serve.http import (
     write_response,
 )
 from repro.serve.ratelimit import RateLimiter
-from repro.serve.routes import Router, ServeContext, StreamingResponse, build_router
+from repro.serve.routes import Router, ServeContext, ServerState, StreamingResponse, build_router
 from repro.serve.service import ObservatoryService, canonical_json
 
-__all__ = ["ObservatoryServer", "main"]
+__all__ = ["AccessLog", "ObservatoryServer", "main"]
+
+#: Inbound ``X-Request-Id`` values outside this shape are replaced with a
+#: server-generated id (they would corrupt log lines or trace args).
+_REQUEST_ID_RE = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+
+
+class AccessLog:
+    """Structured JSONL access log: one canonical line per exchange.
+
+    Each line carries the request id, client, method, target, status,
+    latency, and response size — the same id the response echoes in
+    ``X-Request-Id`` and the trace events carry, so one grep connects an
+    access-log line to its Perfetto spans. Lines are flushed per write
+    (tail-able) and serialized under a lock.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
+
+    def write(self, record: dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            self._fh.write(line + "\n")
+            self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
 
 _log = logging.getLogger("repro.serve.server")
 
@@ -82,6 +128,8 @@ class ObservatoryServer:
         rate_limiter: RateLimiter | None = None,
         compute_slots: int = 1,
         router: Router | None = None,
+        access_log: AccessLog | None = None,
+        state: ServerState | None = None,
     ) -> None:
         self.service = service
         self.host = host
@@ -89,9 +137,18 @@ class ObservatoryServer:
         self.limits = limits or HttpLimits()
         self.rate_limiter = rate_limiter
         self.router = router or build_router()
+        if state is None:
+            state = ServerState(windows=RollingWindow())
+        if access_log is not None:
+            state.access_log = access_log
+        self.state = state
         semaphore = asyncio.Semaphore(compute_slots) if compute_slots > 0 else None
-        self.ctx = ServeContext(service=service, compute_semaphore=semaphore)
+        self.ctx = ServeContext(service=service, compute_semaphore=semaphore, state=state)
         self._server: asyncio.AbstractServer | None = None
+        # Request ids: a short boot-unique prefix plus a counter, e.g.
+        # "3f2a1c-000007" — unique per server lifetime and cheap.
+        self._rid_prefix = os.urandom(3).hex()
+        self._rid_counter = itertools.count(1)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -152,6 +209,7 @@ class ObservatoryServer:
         """One keep-alive connection: read requests until close or error."""
         peer = writer.get_extra_info("peername")
         client = peer[0] if isinstance(peer, tuple) else str(peer)
+        self.state.active_connections += 1
         try:
             while True:
                 keep_going = await self._one_exchange(reader, writer, client)
@@ -163,6 +221,7 @@ class ObservatoryServer:
             _log.exception("unexpected error on connection from %s", client)
             metrics().inc("serve.errors")
         finally:
+            self.state.active_connections -= 1
             writer.close()
             try:
                 await writer.wait_closed()
@@ -193,25 +252,71 @@ class ObservatoryServer:
             return False  # clean EOF between requests
 
         registry.inc("serve.requests")
+        request_id = self._request_id(request)
+        token = set_request_id(request_id)
         start = time.monotonic()
-        if self.rate_limiter is not None and not self.rate_limiter.allow(client):
-            registry.inc("serve.rate_limited")
-            response: Response | StreamingResponse = _error_response(
-                429,
-                "per-client rate limit exceeded",
-                close=False,
-                headers=(("Retry-After", "1"),),
+        start_perf = time.perf_counter()
+        try:
+            if self.rate_limiter is not None and not self.rate_limiter.allow(client):
+                registry.inc("serve.rate_limited")
+                response: Response | StreamingResponse = _error_response(
+                    429,
+                    "per-client rate limit exceeded",
+                    close=False,
+                    headers=(("Retry-After", "1"),),
+                )
+            else:
+                response = await self._dispatch(request)
+            response.headers = response.headers + (("X-Request-Id", request_id),)
+            if isinstance(response, StreamingResponse):
+                keep = await self._respond_streaming(writer, request, response)
+            else:
+                if not request.keep_alive:
+                    response.close = True
+                keep = await self._respond(writer, request, response)
+        finally:
+            reset_request_id(token)
+        latency = time.monotonic() - start
+        registry.observe("serve.latency_s", latency, buckets=FINE_LATENCY_BUCKETS)
+        if self.state.windows is not None:
+            self.state.windows.record(latency, error=response.status >= 500)
+        if registry.trace is not None:
+            # Recorded after the reset on purpose: the id is already in
+            # args explicitly, and the exchange event must carry *this*
+            # request's id, not a successor's.
+            registry.trace.record(
+                "serve.request",
+                start_perf,
+                time.perf_counter() - start_perf,
+                {
+                    "request_id": request_id,
+                    "method": request.method,
+                    "path": request.path,
+                    "status": response.status,
+                },
             )
-        else:
-            response = await self._dispatch(request)
-        if isinstance(response, StreamingResponse):
-            keep = await self._respond_streaming(writer, request, response)
-        else:
-            if not request.keep_alive:
-                response.close = True
-            keep = await self._respond(writer, request, response)
-        registry.observe("serve.latency_s", time.monotonic() - start)
+        if self.state.access_log is not None:
+            body_bytes = len(response.body) if isinstance(response, Response) else None
+            self.state.access_log.write(
+                {
+                    "ts": round(time.time(), 6),
+                    "request_id": request_id,
+                    "client": client,
+                    "method": request.method,
+                    "target": request.target,
+                    "status": response.status,
+                    "latency_ms": round(latency * 1e3, 3),
+                    "bytes": body_bytes,
+                }
+            )
         return keep
+
+    def _request_id(self, request: Request) -> str:
+        """This request's id: the client's well-formed one, else fresh."""
+        supplied = request.headers.get("x-request-id")
+        if supplied is not None and _REQUEST_ID_RE.match(supplied):
+            return supplied
+        return f"{self._rid_prefix}-{next(self._rid_counter):06d}"
 
     async def _dispatch(self, request: Request) -> Response | StreamingResponse:
         """Route one request; never lets a handler crash the connection."""
@@ -363,6 +468,21 @@ def _parser() -> argparse.ArgumentParser:
         help="per-read client timeout; stalled requests answer 408",
     )
     parser.add_argument(
+        "--access-log",
+        dest="access_log",
+        metavar="PATH",
+        help="append one JSONL record per request (request id, client, "
+        "method, target, status, latency)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        dest="trace_out",
+        metavar="PATH",
+        help="buffer request/pipeline trace events and write Perfetto-"
+        "loadable Chrome trace JSON on shutdown (spans carry the same "
+        "request ids as the access log)",
+    )
+    parser.add_argument(
         "--log-level", choices=LOG_LEVELS, default="info"
     )
     return parser
@@ -371,6 +491,7 @@ def _parser() -> argparse.ArgumentParser:
 async def _run_server(args: argparse.Namespace, config: ExperimentConfig) -> int:
     service = ObservatoryService(config)
     limiter = RateLimiter(args.rate, args.burst) if args.rate else None
+    access_log = AccessLog(args.access_log) if args.access_log else None
     server = ObservatoryServer(
         service,
         args.host,
@@ -378,6 +499,7 @@ async def _run_server(args: argparse.Namespace, config: ExperimentConfig) -> int
         limits=HttpLimits(read_timeout_s=args.read_timeout),
         rate_limiter=limiter,
         compute_slots=args.compute_slots,
+        access_log=access_log,
     )
     await server.start()
     # Machine-readable readiness line on stdout: the CI smoke step (and
@@ -398,6 +520,9 @@ async def _run_server(args: argparse.Namespace, config: ExperimentConfig) -> int
         pass
     finally:
         await server.aclose()
+        if access_log is not None:
+            access_log.close()
+            _log.info("access log written to %s", access_log.path)
     return 0
 
 
@@ -405,7 +530,8 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point for ``repro-serve``."""
     args = _parser().parse_args(argv)
     configure_cli_logging(args.log_level)
-    set_metrics(MetricsRegistry(enabled=True))
+    trace = TraceRecorder() if args.trace_out else None
+    set_metrics(MetricsRegistry(enabled=True, trace=trace))
     config = ExperimentConfig(
         preset=args.preset,
         seed=args.seed,
@@ -438,6 +564,9 @@ def main(argv: list[str] | None = None) -> int:
         shutdown_pool()
         if disk is not None:
             day_cache().attach_disk(None)
+        if trace is not None:
+            write_chrome_trace(trace, args.trace_out)
+            _log.info("trace written to %s", args.trace_out)
 
 
 if __name__ == "__main__":

@@ -225,8 +225,11 @@ class ObservatoryService:
 
     def health_payload(self) -> dict[str, Any]:
         """Liveness probe: cheap, never builds the scenario."""
+        from repro import __version__
+
         return {
             "status": "ok",
+            "version": __version__,
             "scenario_built": self.scenario_built,
             "n_days": self.scenario_config.n_days,
             "first_date": str(TRAFFIC_EPOCH),

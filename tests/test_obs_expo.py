@@ -1,0 +1,239 @@
+"""Prometheus exposition conformance: render, parse, validate, quantiles.
+
+The contract under test is the acceptance criterion of the live
+telemetry plane: everything ``/v1/metrics`` emits must parse line by
+line, histogram buckets must be cumulative and monotone with
+``_sum``/``_count`` consistent, and the renderer/parser pair must round
+trip every value the registry holds.
+"""
+
+import math
+
+import pytest
+
+from repro.obs import MetricsRegistry, TraceRecorder
+from repro.obs.expo import (
+    EXPO_CONTENT_TYPE,
+    histogram_quantile,
+    parse_exposition,
+    render_exposition,
+    sanitize_metric_name,
+    validate_exposition,
+)
+from repro.obs.metrics import FINE_LATENCY_BUCKETS
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry(enabled=True, trace=TraceRecorder())
+    registry.inc("serve.requests", 7)
+    registry.inc("serve.cache_tier.mem", 4)
+    registry.inc("serve.cache_tier.compute", 3)
+    registry.inc("pool.busy_s", 1.25)
+    registry.gauge("pool.workers", 2)
+    for value in (0.00015, 0.0003, 0.004, 0.2, 7.5, 99.0):
+        registry.observe("serve.latency_s", value, buckets=FINE_LATENCY_BUCKETS)
+    with registry.span("scenario.synthesize_flows", trace_args={"day": 1}):
+        pass
+    return registry
+
+
+class TestSanitizeMetricName:
+    def test_dots_become_underscores(self):
+        assert sanitize_metric_name("serve.cache_tier.mem") == "serve_cache_tier_mem"
+
+    def test_invalid_characters_replaced(self):
+        assert sanitize_metric_name("a-b c/d") == "a_b_c_d"
+
+    def test_leading_digit_prefixed(self):
+        assert sanitize_metric_name("9lives") == "_9lives"
+
+    def test_colons_preserved(self):
+        assert sanitize_metric_name("job:ratio") == "job:ratio"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sanitize_metric_name("")
+
+
+class TestRenderExposition:
+    def test_content_type_constant(self):
+        assert EXPO_CONTENT_TYPE.startswith("text/plain; version=0.0.4")
+
+    def test_every_line_parses(self):
+        text = render_exposition(_populated_registry()).decode()
+        families = parse_exposition(text)  # raises on any malformed line
+        assert "serve_requests_total" in families
+        assert families["serve_requests_total"].type == "counter"
+
+    def test_counter_and_gauge_values_round_trip(self):
+        registry = _populated_registry()
+        families = parse_exposition(render_exposition(registry).decode())
+        assert families["serve_requests_total"].value() == 7
+        assert families["pool_busy_s_total"].value() == 1.25
+        assert families["pool_workers"].value() == 2
+        assert families["pool_workers"].type == "gauge"
+
+    def test_extra_gauges_ride_along(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.inc("serve.requests")
+        families = parse_exposition(
+            render_exposition(
+                registry, extra_gauges={"serve.uptime_s": 3.5}
+            ).decode()
+        )
+        assert families["serve_uptime_s"].value() == 3.5
+
+    def test_help_and_type_lines_present_for_every_family(self):
+        text = render_exposition(_populated_registry()).decode()
+        families = parse_exposition(text)
+        for family in families.values():
+            assert family.help, family.name
+            assert family.type != "untyped", family.name
+
+    def test_spans_export_as_labeled_counters(self):
+        families = parse_exposition(
+            render_exposition(_populated_registry()).decode()
+        )
+        calls = families["repro_span_calls_total"]
+        assert calls.value(stage="scenario.synthesize_flows") == 1
+        seconds = families["repro_span_seconds_total"].value(
+            stage="scenario.synthesize_flows"
+        )
+        assert seconds is not None and seconds >= 0
+
+    def test_sanitization_collision_raises(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.inc("serve.a.b")
+        registry.inc("serve.a_b")
+        with pytest.raises(ValueError, match="collision"):
+            render_exposition(registry)
+
+    def test_disabled_registry_renders_empty(self):
+        assert render_exposition(MetricsRegistry(enabled=False)) == b""
+        assert parse_exposition("") == {}
+
+
+class TestHistogramConformance:
+    def test_buckets_cumulative_monotone_and_consistent(self):
+        registry = _populated_registry()
+        families = validate_exposition(render_exposition(registry).decode())
+        latency = families["serve_latency_s"]
+        buckets = [
+            s for s in latency.samples if s.name == "serve_latency_s_bucket"
+        ]
+        counts = [s.value for s in buckets]
+        assert counts == sorted(counts), "bucket counts must be cumulative"
+        assert buckets[-1].label("le") == "+Inf"
+        assert buckets[-1].value == latency.value("_count") == 6
+        observed_sum = latency.value("_sum")
+        assert observed_sum == pytest.approx(
+            registry.histograms["serve.latency_s"].total
+        )
+
+    def test_sub_millisecond_buckets_resolve_warm_latencies(self):
+        registry = _populated_registry()
+        families = validate_exposition(render_exposition(registry).decode())
+        latency = families["serve_latency_s"]
+        by_le = {
+            s.label("le"): s.value
+            for s in latency.samples
+            if s.name == "serve_latency_s_bucket"
+        }
+        # The two sub-ms observations land in distinct sub-ms buckets
+        # instead of collapsing into le="0.001".
+        assert by_le["0.00025"] == 1
+        assert by_le["0.0005"] == 2
+
+    def test_validator_rejects_non_cumulative_buckets(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 5\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 1.0\n"
+            "h_count 3\n"
+        )
+        with pytest.raises(ValueError, match="cumulative"):
+            validate_exposition(text)
+
+    def test_validator_rejects_count_mismatch(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 1.0\n"
+            "h_count 4\n"
+        )
+        with pytest.raises(ValueError, match="disagrees"):
+            validate_exposition(text)
+
+    def test_validator_rejects_missing_inf_bucket(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.5"} 3\n'
+            "h_sum 1.0\n"
+            "h_count 3\n"
+        )
+        with pytest.raises(ValueError, match=r"\+Inf"):
+            validate_exposition(text)
+
+    def test_validator_rejects_missing_sum(self):
+        text = '# TYPE h histogram\nh_bucket{le="+Inf"} 1\nh_count 1\n'
+        with pytest.raises(ValueError, match="_sum"):
+            validate_exposition(text)
+
+
+class TestParseStrictness:
+    def test_sample_without_type_declaration_rejected(self):
+        with pytest.raises(ValueError, match="no preceding"):
+            parse_exposition("orphan_metric 1\n")
+
+    def test_malformed_sample_line_rejected(self):
+        with pytest.raises(ValueError, match="unparseable"):
+            parse_exposition("# TYPE x counter\nx one\n")
+
+    def test_duplicate_type_declaration_rejected(self):
+        with pytest.raises(ValueError, match="twice"):
+            parse_exposition("# TYPE x counter\n# TYPE x counter\n")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown metric type"):
+            parse_exposition("# TYPE x thingy\n")
+
+    def test_label_escapes_round_trip(self):
+        registry = MetricsRegistry(enabled=True)
+        with registry.span('weird"name\\with\nescapes'):
+            pass
+        families = parse_exposition(render_exposition(registry).decode())
+        stages = [
+            s.label("stage")
+            for s in families["repro_span_calls_total"].samples
+        ]
+        assert stages == ['weird"name\\with\nescapes']
+
+    def test_inf_and_nan_sample_values(self):
+        families = parse_exposition("# TYPE x gauge\nx +Inf\n")
+        assert math.isinf(families["x"].value())
+
+
+class TestHistogramQuantile:
+    BUCKETS = [(0.001, 10.0), (0.01, 30.0), (0.1, 40.0), (math.inf, 40.0)]
+
+    def test_interpolates_within_bucket(self):
+        # rank 20 of 40 falls halfway into the (0.001, 0.01] bucket.
+        p50 = histogram_quantile(self.BUCKETS, 0.5)
+        assert p50 == pytest.approx(0.001 + (0.01 - 0.001) * 0.5)
+
+    def test_lowest_bucket_interpolates_from_zero(self):
+        p10 = histogram_quantile(self.BUCKETS, 0.1)
+        assert 0 < p10 <= 0.001
+
+    def test_inf_bucket_answers_highest_finite_bound(self):
+        buckets = [(0.001, 1.0), (math.inf, 2.0)]
+        assert histogram_quantile(buckets, 1.0) == 0.001
+
+    def test_empty_histogram_returns_none(self):
+        assert histogram_quantile([], 0.5) is None
+        assert histogram_quantile([(math.inf, 0.0)], 0.5) is None
+
+    def test_out_of_range_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            histogram_quantile(self.BUCKETS, 1.5)

@@ -1,0 +1,155 @@
+"""Rolling-window telemetry: rates, quantiles, expiry, SLO burn.
+
+All tests drive :class:`~repro.obs.window.RollingWindow` with an
+injected fake clock, so rates and expiry are exact rather than
+timing-dependent.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs.window import DEFAULT_OBJECTIVE, RollingWindow
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def _window(clock, **kwargs) -> RollingWindow:
+    kwargs.setdefault("horizon_s", 300)
+    return RollingWindow(clock=clock, **kwargs)
+
+
+class TestRecordAndSnapshot:
+    def test_counts_and_rps(self, clock):
+        window = _window(clock)
+        clock.advance(60)  # age past boot so the rate denominator is full
+        for _ in range(60):
+            clock.advance(1)
+            window.record(0.002)
+            window.record(0.002)
+        snap = window.snapshot(60)
+        assert snap.requests == 120
+        assert snap.rps == pytest.approx(2.0)
+        assert snap.errors == 0
+        assert snap.error_rate == 0.0
+
+    def test_error_rate_and_slo_burn(self, clock):
+        window = _window(clock)
+        clock.advance(60)
+        for i in range(100):
+            window.record(0.001, error=(i % 10 == 0))
+            clock.advance(0.1)
+        snap = window.snapshot(60)
+        assert snap.errors == 10
+        assert snap.error_rate == pytest.approx(0.1)
+        # 10% errors against a 99.9% objective burn 100x the budget rate.
+        assert snap.slo_burn == pytest.approx(0.1 / (1 - DEFAULT_OBJECTIVE))
+
+    def test_quantiles_from_retained_samples(self, clock):
+        window = _window(clock)
+        clock.advance(60)
+        for i in range(1, 101):
+            window.record(i / 1000.0)  # 1ms .. 100ms
+        snap = window.snapshot(60)
+        assert snap.p50_s == pytest.approx(0.0505, rel=0.02)
+        assert snap.p99_s == pytest.approx(0.09901, rel=0.02)
+
+    def test_empty_window_has_no_quantiles(self, clock):
+        snap = _window(clock).snapshot(60)
+        assert snap.requests == 0
+        assert snap.p50_s is None and snap.p99_s is None
+        assert snap.rps == 0.0
+        assert snap.slo_burn == 0.0
+
+    def test_early_boot_rate_uses_elapsed_not_window(self, clock):
+        window = _window(clock)
+        for _ in range(10):
+            window.record(0.001)
+        clock.advance(2.0)
+        # 10 requests in the 2 seconds since boot is 5 rps, not 10/60.
+        assert window.snapshot(60).rps == pytest.approx(5.0)
+
+
+class TestExpiry:
+    def test_old_slots_fall_out_of_the_window(self, clock):
+        window = _window(clock)
+        clock.advance(60)
+        window.record(0.001)
+        clock.advance(120)
+        window.record(0.002)
+        assert window.snapshot(60).requests == 1
+        assert window.snapshot(300).requests == 2
+
+    def test_ring_wrap_recycles_stale_slots(self, clock):
+        window = _window(clock, horizon_s=10)
+        window.record(0.001)
+        clock.advance(10)  # a full revolution lands on the same slot index
+        window.record(0.002)
+        snap = window.snapshot(10)
+        assert snap.requests == 1
+        assert snap.p50_s == pytest.approx(0.002)
+
+    def test_window_larger_than_horizon_rejected(self, clock):
+        with pytest.raises(ValueError):
+            _window(clock, horizon_s=10).snapshot(11)
+
+
+class TestSampleCap:
+    def test_overflow_keeps_counting_but_stops_sampling(self, clock):
+        window = _window(clock, slot_samples=4)
+        for _ in range(10):
+            window.record(0.001)
+        snap = window.snapshot(60)
+        assert snap.requests == 10  # rate counting is exact
+        slot = window._slots[int(clock()) % window.horizon_s]
+        assert len(slot.samples) == 4
+        assert slot.overflow == 6
+
+
+class TestValidationAndSafety:
+    def test_constructor_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RollingWindow(horizon_s=0)
+        with pytest.raises(ValueError):
+            RollingWindow(slot_samples=0)
+        with pytest.raises(ValueError):
+            RollingWindow(objective=1.0)
+
+    def test_snapshot_dict_is_json_ready(self, clock):
+        window = _window(clock)
+        window.record(0.0042)
+        payload = window.snapshot(60).to_dict()
+        assert payload["p50_ms"] == pytest.approx(4.2)
+        assert set(payload) == {
+            "window_s", "requests", "errors", "rps",
+            "error_rate", "slo_burn", "p50_ms", "p99_ms",
+        }
+
+    def test_concurrent_recording_loses_nothing(self):
+        window = RollingWindow(horizon_s=300)
+        n_threads, per_thread = 8, 500
+
+        def worker():
+            for _ in range(per_thread):
+                window.record(0.001)
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert window.snapshot(300).requests == n_threads * per_thread
