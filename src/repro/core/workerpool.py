@@ -179,9 +179,11 @@ def _warm_scenario(scenario: Scenario) -> None:
     matrix = getattr(scenario.visibility, "matrix", None)
     if matrix is None:
         return
-    matrix.ixp_tables()
-    for vp in (scenario.tier1, scenario.tier2):
-        matrix.isp_tables(vp.asn, vp.ingress_only)
+    matrix.warm(
+        isp_views=tuple(
+            (vp.asn, vp.ingress_only) for vp in (scenario.tier1, scenario.tier2)
+        )
+    )
 
 
 def _process_worker_init(config: ScenarioConfig, shm_threshold: int) -> None:

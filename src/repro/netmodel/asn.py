@@ -8,6 +8,7 @@ address -> owning AS (longest-prefix match over the registered prefixes).
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 from enum import Enum
 
@@ -63,6 +64,12 @@ class ASRegistry:
     def __init__(self) -> None:
         self._by_asn: dict[int, AutonomousSystem] = {}
         self._prefix_owner: list[tuple[Prefix, int]] = []
+        # Sorted-by-start interval view of _prefix_owner for O(log n)
+        # overlap validation (prefixes either nest or are disjoint, so
+        # "overlaps" == "intervals intersect" == a neighbor in start order
+        # straddles the candidate).
+        self._sorted_starts: list[int] = []
+        self._sorted_rows: list[tuple[int, int, Prefix, int]] = []
         self._lookup_dirty = True
         self._starts = np.empty(0, dtype=np.uint64)
         self._ends = np.empty(0, dtype=np.uint64)
@@ -72,14 +79,28 @@ class ASRegistry:
         if asys.asn in self._by_asn:
             raise ValueError(f"ASN {asys.asn} already registered")
         for prefix in asys.prefixes:
-            for existing, owner in self._prefix_owner:
-                if existing.contains(prefix.network) or prefix.contains(existing.network):
-                    raise ValueError(
-                        f"prefix {prefix} of AS{asys.asn} overlaps {existing} of AS{owner}"
-                    )
+            start = prefix.network
+            end = prefix.network + prefix.size
+            i = bisect.bisect_right(self._sorted_starts, start)
+            if i > 0 and self._sorted_rows[i - 1][1] > start:
+                _, _, existing, owner = self._sorted_rows[i - 1]
+                raise ValueError(
+                    f"prefix {prefix} of AS{asys.asn} overlaps {existing} of AS{owner}"
+                )
+            if i < len(self._sorted_rows) and self._sorted_rows[i][0] < end:
+                _, _, existing, owner = self._sorted_rows[i]
+                raise ValueError(
+                    f"prefix {prefix} of AS{asys.asn} overlaps {existing} of AS{owner}"
+                )
         self._by_asn[asys.asn] = asys
         for prefix in asys.prefixes:
             self._prefix_owner.append((prefix, asys.asn))
+            start = prefix.network
+            i = bisect.bisect_right(self._sorted_starts, start)
+            self._sorted_starts.insert(i, start)
+            self._sorted_rows.insert(
+                i, (start, prefix.network + prefix.size, prefix, asys.asn)
+            )
         self._lookup_dirty = True
 
     def get(self, asn: int) -> AutonomousSystem:

@@ -58,6 +58,8 @@ EXCLUDED_PREFIXES: tuple[str, ...] = (
     "shm.",
     "visibility.",
     "parallel.",
+    "topology.",
+    "matrix.",
 )
 
 

@@ -231,4 +231,4 @@ class BenignBackground:
                         "dst_asn": self.client_asns[client_idx[keep]],
                     }
                 )
-        return builder.build()
+        return builder.take()

@@ -149,11 +149,19 @@ class Scenario:
             self.registry, self.pools, self.config.background, self.seeds.child("bg")
         )
 
-        # Vantage points. The dense visibility matrix is precomputed over
-        # the full registry (tables build lazily on first observation);
-        # the per-pair oracle stays as the fallback for unknown ASNs.
+        # Vantage points. The visibility matrix is precomputed over the
+        # full registry (tables build lazily on first observation, dense
+        # or per-column-block per the config's visibility_* knobs); the
+        # per-pair oracle stays as the fallback for unknown ASNs.
         self.visibility = FlowVisibility(
-            self.topology, matrix=VisibilityMatrix(self.topology)
+            self.topology,
+            matrix=VisibilityMatrix(
+                self.topology,
+                mode=self.config.visibility_mode,
+                dense_max_asns=self.config.visibility_dense_max_asns,
+                block_columns=self.config.visibility_block_columns,
+                budget_bytes=self.config.visibility_budget_mb << 20,
+            ),
         )
         tier1_asn = self.registry.by_role(ASRole.TIER1)[0].asn
         tier2_members = [
@@ -294,8 +302,8 @@ class Scenario:
             traffic = DayTraffic(
                 day=day,
                 events=events,
-                attack=attack_builder.build(),
-                trigger=trigger_builder.build(),
+                attack=attack_builder.take(),
+                trigger=trigger_builder.take(),
                 scan=scan,
                 benign=benign,
             )
@@ -395,8 +403,8 @@ class Scenario:
             shard=shard,
             n_shards=n_shards,
             events=events[lo:hi],
-            attack=attack_builder.build(),
-            trigger=trigger_builder.build(),
+            attack=attack_builder.take(),
+            trigger=trigger_builder.take(),
             scan=scan,
             benign=benign,
         )

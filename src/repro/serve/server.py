@@ -77,18 +77,43 @@ class AccessLog:
     ``X-Request-Id`` and the trace events carry, so one grep connects an
     access-log line to its Perfetto spans. Lines are flushed per write
     (tail-able) and serialized under a lock.
+
+    With ``max_bytes > 0`` the log rotates by size: when a write would
+    push the file past the limit, the current file is atomically renamed
+    to ``<path>.1`` (replacing any previous ``.1``) and a fresh file
+    opened — one generation of history, bounded disk, no partial lines
+    in either file.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, max_bytes: int = 0) -> None:
+        if max_bytes < 0:
+            raise ValueError("max_bytes cannot be negative")
         self.path = Path(path)
+        self.max_bytes = int(max_bytes)
+        self.rotations = 0
         self._fh = open(self.path, "a", encoding="utf-8")
+        self._size = self._fh.tell()
         self._lock = threading.Lock()
 
+    def _rotate_locked(self) -> None:
+        self._fh.close()
+        os.replace(self.path, self.path.with_name(self.path.name + ".1"))
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._size = 0
+        self.rotations += 1
+
     def write(self, record: dict[str, Any]) -> None:
-        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        line = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
         with self._lock:
-            self._fh.write(line + "\n")
+            if (
+                self.max_bytes
+                and self._size
+                and self._size + len(line) > self.max_bytes
+            ):
+                self._rotate_locked()
+            self._fh.write(line)
             self._fh.flush()
+            self._size += len(line)
 
     def close(self) -> None:
         with self._lock:
@@ -475,6 +500,15 @@ def _parser() -> argparse.ArgumentParser:
         "method, target, status, latency)",
     )
     parser.add_argument(
+        "--access-log-max-bytes",
+        dest="access_log_max_bytes",
+        type=int,
+        default=0,
+        metavar="BYTES",
+        help="rotate the access log when it would exceed this size "
+        "(atomic rename to <path>.1, one generation kept; 0 = never rotate)",
+    )
+    parser.add_argument(
         "--trace-out",
         dest="trace_out",
         metavar="PATH",
@@ -491,7 +525,11 @@ def _parser() -> argparse.ArgumentParser:
 async def _run_server(args: argparse.Namespace, config: ExperimentConfig) -> int:
     service = ObservatoryService(config)
     limiter = RateLimiter(args.rate, args.burst) if args.rate else None
-    access_log = AccessLog(args.access_log) if args.access_log else None
+    access_log = (
+        AccessLog(args.access_log, max_bytes=args.access_log_max_bytes)
+        if args.access_log
+        else None
+    )
     server = ObservatoryServer(
         service,
         args.host,

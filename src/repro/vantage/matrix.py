@@ -1,36 +1,52 @@
-"""Dense precomputed visibility verdicts for all registry AS pairs.
+"""Precomputed visibility verdicts over registry AS pairs, dense or blocked.
 
 :class:`~repro.vantage.visibility.FlowVisibility` answers one (src ASN,
 dst ASN) pair at a time through a memoized oracle; at day-pipeline scale
 the Python loop over unique pairs dominates observation, and each worker
 process re-warms its caches from scratch. :class:`VisibilityMatrix`
-instead materializes the verdicts for *every* ordered pair of registry
-ASNs into dense ``(n_asn x n_asn)`` ``visible``/``peer_asn`` arrays, so a
-whole flow table resolves with two ``searchsorted`` calls and fancy
-indexing — no per-pair Python work, and the arrays survive pickling and
-forking intact.
+materializes verdicts for whole pair sets instead, with two storage modes:
 
-The matrices are built from the topology's per-destination route trees in
-O(n^2): a source's verdict towards a destination is either decided by its
-first hop (the hop crosses the IXP fabric / reaches the observer) or
-inherited from its next hop's verdict, so each destination column fills
-in one pass over ASes ordered by route length. Verdicts are bit-identical
-to the lazy oracle's (the test suite asserts parity over all pairs).
+* **dense** — full ``(n_asn x n_asn)`` ``visible``/``peer_asn`` tables per
+  observation view, resolved by fancy indexing. The historical fast path;
+  kept bit-identical for every existing workload, but ``bool + int32`` per
+  view means ~5 bytes * n^2 — at 10k ASes that is ~0.5 GB per view, which
+  is why it stops being the default above ``dense_max_asns``.
+* **blocked** — tables are built per destination-column *block* on demand
+  (``block_columns`` columns at a time), stored ``bool``/int32 in a
+  byte-budget LRU. Lookups group query pairs by block, so a day's flow
+  table touches only the destination columns it actually contains.
+  ``matrix.blocks_built`` / ``matrix.evictions`` counters and the
+  ``matrix.resident_bytes`` gauge expose the cache behavior.
+
+Both modes share one vectorized column builder: a source's verdict towards
+a destination is either decided by its first hop (the hop crosses the IXP
+fabric / reaches the observer) or inherited from its next hop's verdict,
+so each destination column fills level by level over the route tree's
+length groups — no per-pair Python. Verdicts are bit-identical to the lazy
+oracle's (the test suite asserts parity over all pairs in both modes).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
 from repro.netmodel.topology import ASTopology
+from repro.obs import metrics
 
 __all__ = ["VisibilityMatrix"]
 
+#: Valid storage modes. ``auto`` picks dense below ``dense_max_asns``.
+MODES = ("auto", "dense", "blocked")
+
+_IXP_VIEW = ("ixp",)
+
 
 class VisibilityMatrix:
-    """Precomputed ``visible``/``peer_asn`` tables over registry ASNs.
+    """Precomputed ``visible``/``peer_asn`` verdicts over registry ASNs.
 
-    Tables are built lazily per observation kind (IXP fabric, or one
+    Tables are built lazily per observation view (IXP fabric, or one
     ``(observer ASN, ingress_only)`` ISP view) and invalidated when the
     topology gains edges after construction. ASN values outside the
     registry (e.g. ``-1`` for unresolved addresses) are not covered;
@@ -42,13 +58,34 @@ class VisibilityMatrix:
     #: degrades to binary search.
     _LUT_MAX_ASN = 1 << 20
 
-    def __init__(self, topology: ASTopology) -> None:
+    def __init__(
+        self,
+        topology: ASTopology,
+        *,
+        mode: str = "auto",
+        dense_max_asns: int = 4096,
+        block_columns: int = 512,
+        budget_bytes: int = 256 << 20,
+    ) -> None:
+        if mode not in MODES:
+            raise ValueError(f"unknown mode {mode!r} (choose from {'/'.join(MODES)})")
+        if block_columns < 1:
+            raise ValueError("block_columns must be >= 1")
         self.topology = topology
+        self.mode = mode
+        self.dense_max_asns = int(dense_max_asns)
+        self.block_columns = int(block_columns)
+        self.budget_bytes = int(budget_bytes)
         self._generation = topology.version
         self._asns = np.asarray(topology.asns, dtype=np.int64)
         self._lut = self._build_lut(self._asns)
         self._ixp: tuple[np.ndarray, np.ndarray] | None = None
         self._isp: dict[tuple[int, bool], tuple[np.ndarray, np.ndarray]] = {}
+        # Blocked store: (view key, block id) -> (visT (C, n), peerT (C, n)).
+        self._blocks: OrderedDict[tuple, tuple[np.ndarray, np.ndarray]] = OrderedDict()
+        self._resident_bytes = 0
+        self.blocks_built = 0
+        self.evictions = 0
 
     @staticmethod
     def _build_lut(asns: np.ndarray) -> np.ndarray | None:
@@ -73,12 +110,29 @@ class VisibilityMatrix:
             self._lut = self._build_lut(self._asns)
             self._ixp = None
             self._isp.clear()
+            self._blocks.clear()
+            self._resident_bytes = 0
 
     @property
     def asns(self) -> np.ndarray:
         """Sorted registry ASNs; row/column ``i`` of every table is ``asns[i]``."""
         self._refresh()
         return self._asns
+
+    @property
+    def blocked(self) -> bool:
+        """Whether lookups resolve through column blocks instead of dense tables."""
+        self._refresh()
+        if self.mode == "dense":
+            return False
+        if self.mode == "blocked":
+            return True
+        return self._asns.size > self.dense_max_asns
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes currently held by the blocked-mode LRU."""
+        return self._resident_bytes
 
     def index_of(self, asn_values: np.ndarray) -> np.ndarray:
         """Map ASN values to table indices (``-1`` for out-of-registry ASNs)."""
@@ -103,42 +157,124 @@ class VisibilityMatrix:
             raise ValueError("src and dst ASN arrays must align")
         return self.index_of(src_asns), self.index_of(dst_asns)
 
-    # -- table construction -------------------------------------------------
+    def knows_observer(self, observer_asn: int) -> bool:
+        """Whether ISP views for this observer can be resolved here."""
+        asns = self.asns
+        i = np.searchsorted(asns, int(observer_asn))
+        return i < asns.size and int(asns[i]) == int(observer_asn)
 
-    def _length_order(self, routes: dict) -> list[int]:
-        """Route holders ordered so every AS follows its next hop.
+    # -- column construction --------------------------------------------------
 
-        At the route tree's fixed point each entry's length is exactly its
-        next hop's length plus one, so ascending length order guarantees
-        the inherited verdict is already filled in.
+    def _build_columns(
+        self, view: tuple, cols: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Verdict columns ``cols`` of ``view``, transposed ``(C, n)``.
+
+        The recurrence runs per column in ascending route-length levels:
+        every source's verdict is either decided directly by its first hop
+        or inherited from the hop's (already final) verdict — the same
+        fixed point the per-pair oracle walks, now as ~path-diameter numpy
+        ops per column.
         """
-        return sorted(routes, key=lambda asn: routes[asn].length)
+        topo = self.topology
+        plane = topo.route_plane()
+        n = plane.n
+        asns32 = plane.asns.astype(np.int32)
+        C = cols.size
+        if view[0] == "ixp":
+            obs_idx = -1
+            ingress_only = False
+        else:
+            _, observer_asn, ingress_only = view
+            obs_idx = int(np.searchsorted(plane.asns, int(observer_asn)))
+            if obs_idx >= n or int(plane.asns[obs_idx]) != int(observer_asn):
+                raise KeyError(f"observer ASN {observer_asn} not in registry")
+        # Bound transient route arrays (9 bytes x C x n) when a dense build
+        # asks for every column at once: recurse in column slices.
+        max_cols = max(1, (1 << 22) // max(n, 1))
+        if C > max_cols:
+            visT = np.empty((C, n), dtype=bool)
+            peerT = np.empty((C, n), dtype=np.int32)
+            for i in range(0, C, max_cols):
+                part = self._build_columns(view, cols[i : i + max_cols])
+                visT[i : i + max_cols] = part[0]
+                peerT[i : i + max_cols] = part[1]
+            return visT, peerT
+        kind, length, hop = topo.routes_to_many(plane.asns[cols])
+        # Flat composite cells ``row * n + src`` so one pass of numpy ops
+        # fills every column of the block at once. Levels group by route
+        # length *globally*: inheritance only ever reads the hop's cell,
+        # which sits one length lower in the same row, so ascending global
+        # levels replay each column's own ascending-level recurrence.
+        kindf, lengthf, hopf = kind.ravel(), length.ravel(), hop.ravel()
+        visf = np.zeros(C * n, dtype=bool)
+        peerf = np.full(C * n, -1, dtype=np.int32)
+        if view[0] != "ixp":
+            # Observer-sourced flows: the handover "peer" is the next AS
+            # on the observer's own path (the oracle's egress rule).
+            obs_cells = np.arange(C, dtype=np.int64) * n + obs_idx
+            ok = (kind[:, obs_idx] >= 0) & (cols != obs_idx)
+            visf[obs_cells[ok]] = True
+            peerf[obs_cells[ok]] = asns32[hop[:, obs_idx][ok]]
+        reach = np.flatnonzero(kindf >= 0)
+        # Sort cells by route length with one fused value sort: pack
+        # ``length << cell_bits | cell`` (both bounded) and unpack after.
+        cell_bits = max(1, int(C * n - 1).bit_length())
+        key = (lengthf[reach].astype(np.int64) << np.int64(cell_bits)) | reach
+        key.sort()
+        reach = key & np.int64((1 << cell_bits) - 1)
+        lens = key >> np.int64(cell_bits)
+        levels, starts = np.unique(lens, return_index=True)
+        stops = np.append(starts[1:], lens.size)
+        for lvl, a, b in zip(levels.tolist(), starts.tolist(), stops.tolist()):
+            if lvl == 0:
+                continue
+            p = reach[a:b]
+            src = p % n
+            if view[0] != "ixp":
+                keep = src != obs_idx
+                p, src = p[keep], src[keep]
+                if p.size == 0:
+                    continue
+            h = hopf[p].astype(np.int64)
+            hcell = p - src + h
+            if view[0] == "ixp":
+                # Only peer routes can cross the fabric: a transit pair is
+                # never also an IXP peering (add_peering rejects the
+                # conflict), so the membership probe skips kind 0/2 cells.
+                direct = np.zeros(p.size, dtype=bool)
+                peer_cells = np.flatnonzero(kindf[p] == 1)
+                if peer_cells.size:
+                    direct[peer_cells] = plane.is_ixp_edge(
+                        src[peer_cells], h[peer_cells]
+                    )
+            else:
+                direct = h == obs_idx
+            visf[p] = np.where(direct, True, visf[hcell])
+            peerf[p] = np.where(direct, asns32[src], peerf[hcell])
+        visT = visf.reshape(C, n)
+        peerT = peerf.reshape(C, n)
+        if ingress_only:
+            # Tier-1 trace rule: flows sourced inside the observer's
+            # customer cone (the observer included) are not exported.
+            cone = topo.customer_cone_mask(int(view[1]))
+            visT &= ~cone[None, :]
+        np.copyto(peerT, -1, where=~visT)
+        return visT, peerT
+
+    # -- dense tables ---------------------------------------------------------
 
     def ixp_tables(self) -> tuple[np.ndarray, np.ndarray]:
         """Dense IXP verdicts: ``(visible[src, dst], peer_asn[src, dst])``."""
         self._refresh()
         if self._ixp is None:
-            topo = self.topology
-            asns = self._asns
-            n = asns.size
-            index = {int(a): i for i, a in enumerate(asns)}
-            visible = np.zeros((n, n), dtype=bool)
-            peer = np.full((n, n), -1, dtype=np.int64)
-            for j, dst in enumerate(asns.tolist()):
-                routes = topo._routes_to(dst)
-                for src in self._length_order(routes):
-                    if src == dst:
-                        continue
-                    hop = routes[src].next_hop
-                    i = index[src]
-                    if topo.is_ixp_peering(src, hop):
-                        visible[i, j] = True
-                        peer[i, j] = src
-                    else:
-                        k = index[hop]
-                        visible[i, j] = visible[k, j]
-                        peer[i, j] = peer[k, j]
-            self._ixp = (visible, peer)
+            visT, peerT = self._build_columns(
+                _IXP_VIEW, np.arange(self._asns.size, dtype=np.int64)
+            )
+            self._ixp = (
+                np.ascontiguousarray(visT.T),
+                np.ascontiguousarray(peerT.T),
+            )
         return self._ixp
 
     def isp_tables(self, observer_asn: int, ingress_only: bool) -> tuple[np.ndarray, np.ndarray]:
@@ -148,46 +284,105 @@ class VisibilityMatrix:
         cached = self._isp.get(key)
         if cached is not None:
             return cached
-        topo = self.topology
-        asns = self._asns
-        n = asns.size
-        index = {int(a): i for i, a in enumerate(asns)}
-        observer = int(observer_asn)
-        if observer not in index:
-            raise KeyError(f"observer ASN {observer} not in registry")
-        on_path = np.zeros((n, n), dtype=bool)
-        pred = np.full((n, n), -1, dtype=np.int64)
-        for j, dst in enumerate(asns.tolist()):
-            routes = topo._routes_to(dst)
-            if observer in routes and observer != dst:
-                # Observer-sourced flows: the handover "peer" is the next
-                # AS on the observer's own path (the oracle's egress rule).
-                on_path[index[observer], j] = True
-                pred[index[observer], j] = routes[observer].next_hop
-            for src in self._length_order(routes):
-                if src == dst or src == observer:
-                    continue
-                hop = routes[src].next_hop
-                i = index[src]
-                if hop == observer:
-                    on_path[i, j] = True
-                    pred[i, j] = src
-                else:
-                    k = index[hop]
-                    on_path[i, j] = on_path[k, j]
-                    pred[i, j] = pred[k, j]
-        if ingress_only:
-            # Tier-1 trace rule: flows sourced inside the observer's
-            # customer cone (the observer included) are not exported.
-            cone = topo.customer_cone(observer)
-            in_cone = np.fromiter((int(a) in cone for a in asns), dtype=bool, count=n)
-            on_path &= ~in_cone[:, None]
-        visible = on_path
-        peer = np.where(visible, pred, np.int64(-1))
-        self._isp[key] = (visible, peer)
+        visT, peerT = self._build_columns(
+            ("isp", *key), np.arange(self._asns.size, dtype=np.int64)
+        )
+        self._isp[key] = (np.ascontiguousarray(visT.T), np.ascontiguousarray(peerT.T))
         return self._isp[key]
+
+    # -- blocked lookups ------------------------------------------------------
+
+    def _block(self, view: tuple, block_id: int) -> tuple[np.ndarray, np.ndarray]:
+        key = (view, block_id)
+        cached = self._blocks.get(key)
+        if cached is not None:
+            self._blocks.move_to_end(key)
+            return cached
+        n = self._asns.size
+        lo = block_id * self.block_columns
+        cols = np.arange(lo, min(lo + self.block_columns, n), dtype=np.int64)
+        block = self._build_columns(view, cols)
+        self._blocks[key] = block
+        self._resident_bytes += block[0].nbytes + block[1].nbytes
+        self.blocks_built += 1
+        evicted = 0
+        while self._resident_bytes > self.budget_bytes and len(self._blocks) > 1:
+            _, old = self._blocks.popitem(last=False)
+            self._resident_bytes -= old[0].nbytes + old[1].nbytes
+            evicted += 1
+        self.evictions += evicted
+        registry = metrics()
+        if registry.enabled:
+            registry.inc("matrix.blocks_built")
+            if evicted:
+                registry.inc("matrix.evictions", evicted)
+            registry.gauge("matrix.resident_bytes", self._resident_bytes)
+        return block
+
+    def _lookup(
+        self, view: tuple, src_idx: np.ndarray, dst_idx: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Verdicts for pair index arrays (all indices must be >= 0)."""
+        self._refresh()
+        if not self.blocked:
+            if view[0] == "ixp":
+                visible, peer = self.ixp_tables()
+            else:
+                visible, peer = self.isp_tables(view[1], view[2])
+            return visible[src_idx, dst_idx], peer[src_idx, dst_idx].astype(np.int64)
+        if view[0] != "ixp" and not self.knows_observer(view[1]):
+            raise KeyError(f"observer ASN {view[1]} not in registry")
+        vis_out = np.zeros(src_idx.shape, dtype=bool)
+        peer_out = np.full(src_idx.shape, -1, dtype=np.int64)
+        block_ids = dst_idx // self.block_columns
+        order = np.argsort(block_ids, kind="stable")
+        sorted_ids = block_ids[order]
+        uniq, starts = np.unique(sorted_ids, return_index=True)
+        stops = np.append(starts[1:], sorted_ids.size)
+        for bid, a, b in zip(uniq.tolist(), starts.tolist(), stops.tolist()):
+            sel = order[a:b]
+            visT, peerT = self._block(view, int(bid))
+            local = dst_idx[sel] - int(bid) * self.block_columns
+            vis_out[sel] = visT[local, src_idx[sel]]
+            peer_out[sel] = peerT[local, src_idx[sel]]
+        return vis_out, peer_out
+
+    def lookup_ixp(
+        self, src_idx: np.ndarray, dst_idx: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """IXP verdicts for pair index arrays (``(visible, peer_asn)``)."""
+        return self._lookup(_IXP_VIEW, src_idx, dst_idx)
+
+    def lookup_isp(
+        self,
+        observer_asn: int,
+        ingress_only: bool,
+        src_idx: np.ndarray,
+        dst_idx: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """ISP-view verdicts for pair index arrays (``(visible, peer_asn)``)."""
+        return self._lookup(
+            ("isp", int(observer_asn), bool(ingress_only)), src_idx, dst_idx
+        )
+
+    def warm(self, isp_views: tuple[tuple[int, bool], ...] = ()) -> None:
+        """Pre-build what lookups will need (worker-pool initializer hook).
+
+        Dense mode materializes the IXP table plus the given
+        ``(observer_asn, ingress_only)`` ISP views; blocked mode only
+        prepares the CSR route plane and ASN index — blocks stay
+        demand-built so warming never blows the byte budget.
+        """
+        self._refresh()
+        self.topology.route_plane()
+        if self.blocked:
+            return
+        self.ixp_tables()
+        for observer_asn, ingress_only in isp_views:
+            self.isp_tables(observer_asn, ingress_only)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         built = ["ixp"] if self._ixp is not None else []
         built += [f"isp{k}" for k in self._isp]
+        built += [f"{len(self._blocks)} blocks"] if self._blocks else []
         return f"VisibilityMatrix({self._asns.size} ASNs, built={built or 'none'})"

@@ -132,7 +132,7 @@ class FlowVisibility:
         if self.matrix is None:
             return self._mask(src_asns, dst_asns, self.at_ixp)
         return self._matrix_mask(
-            src_asns, dst_asns, self.matrix.ixp_tables(), self.at_ixp, pair_index
+            src_asns, dst_asns, self.matrix.lookup_ixp, self.at_ixp, pair_index
         )
 
     def isp_mask(
@@ -148,24 +148,26 @@ class FlowVisibility:
         def check(src: int, dst: int) -> Visibility:
             return self.at_isp(observer_asn, src, dst, ingress_only)
 
-        if self.matrix is not None:
-            try:
-                tables = self.matrix.isp_tables(observer_asn, ingress_only)
-            except KeyError:
-                tables = None  # observer outside the registry: oracle only
-            if tables is not None:
-                return self._matrix_mask(src_asns, dst_asns, tables, check, pair_index)
+        if self.matrix is not None and self.matrix.knows_observer(observer_asn):
+
+            def lookup(src_idx: np.ndarray, dst_idx: np.ndarray):
+                return self.matrix.lookup_isp(observer_asn, ingress_only, src_idx, dst_idx)
+
+            return self._matrix_mask(src_asns, dst_asns, lookup, check, pair_index)
         return self._mask(src_asns, dst_asns, check)
 
     def _matrix_mask(
         self,
         src_asns: np.ndarray,
         dst_asns: np.ndarray,
-        tables: tuple[np.ndarray, np.ndarray],
+        lookup,
         check,
         pair_index: tuple[np.ndarray, np.ndarray] | None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Fancy-index registry pairs; route the rest through the oracle."""
+        """Resolve registry pairs through the matrix; route the rest through
+        the oracle. ``lookup`` maps aligned (src, dst) index arrays to
+        ``(visible, peer)`` — dense fancy indexing or blocked column fetches,
+        the split is the matrix's concern."""
         src_asns = np.asarray(src_asns, dtype=np.int64)
         dst_asns = np.asarray(dst_asns, dtype=np.int64)
         if src_asns.shape != dst_asns.shape:
@@ -176,17 +178,14 @@ class FlowVisibility:
             src_idx, dst_idx = pair_index
             if src_idx.shape != src_asns.shape or dst_idx.shape != dst_asns.shape:
                 raise ValueError("pair_index does not match the ASN arrays")
-        visible_table, peer_table = tables
         known = (src_idx >= 0) & (dst_idx >= 0)
         if known.all():
-            vis = visible_table[src_idx, dst_idx]
-            peers = peer_table[src_idx, dst_idx]
+            vis, peers = lookup(src_idx, dst_idx)
             n_fallback = 0
         else:
             vis = np.zeros(src_asns.size, dtype=bool)
             peers = np.full(src_asns.size, -1, dtype=np.int64)
-            vis[known] = visible_table[src_idx[known], dst_idx[known]]
-            peers[known] = peer_table[src_idx[known], dst_idx[known]]
+            vis[known], peers[known] = lookup(src_idx[known], dst_idx[known])
             unknown = ~known
             n_fallback = int(unknown.sum())
             f_vis, f_peers = self._mask(src_asns[unknown], dst_asns[unknown], check)

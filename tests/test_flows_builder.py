@@ -124,3 +124,47 @@ class TestSemantics:
         built = FlowTableBuilder().add_block(block).build()
         assert built["packets"].dtype == np.int64
         assert built["time"].dtype == np.float64
+
+
+class TestTake:
+    def test_take_matches_build_and_resets(self):
+        rng = np.random.default_rng(6)
+        block = _block(rng, 137, True)
+        want = FlowTableBuilder().add_block(block).build()
+        builder = FlowTableBuilder().add_block(block)
+        taken = builder.take()
+        for name in SCHEMA:
+            np.testing.assert_array_equal(taken[name], want[name])
+        assert len(builder) == 0
+        # The builder is reusable after take and starts from scratch.
+        second = _block(rng, 9, True)
+        again = builder.add_block(second).take()
+        assert len(again) == 9
+        np.testing.assert_array_equal(again["time"], second["time"])
+
+    def test_take_exactly_full_hands_over_without_copy(self):
+        rng = np.random.default_rng(7)
+        block = _block(rng, 64, True)
+        builder = FlowTableBuilder(capacity=64)
+        column = builder._columns["time"]
+        builder.add_block(block)
+        taken = builder.take()
+        # Move semantics: the table owns the very buffer the builder filled.
+        assert taken["time"] is column
+        # ...and the builder no longer references it.
+        assert builder._columns["time"] is not column
+        assert len(builder) == 0
+
+    def test_take_oversized_buffer_copies(self):
+        rng = np.random.default_rng(8)
+        builder = FlowTableBuilder(capacity=100)
+        builder.add_block(_block(rng, 10, True))
+        column = builder._columns["time"]
+        taken = builder.take()
+        assert len(taken) == 10
+        assert taken["time"] is not column
+        assert taken["time"].base is None  # real copy, not a view pinning 100
+
+    def test_take_empty(self):
+        taken = FlowTableBuilder().take()
+        assert len(taken) == 0

@@ -181,6 +181,57 @@ class TestAccessLog:
         assert health["bytes"] > 0
         assert health["client"] == "127.0.0.1"
 
+    def test_rotates_by_size_with_no_partial_lines(self, tmp_path):
+        log_path = tmp_path / "access.jsonl"
+        log = AccessLog(log_path, max_bytes=400)
+        try:
+            for i in range(50):
+                log.write({"request_id": f"req-{i:04d}", "status": 200})
+        finally:
+            log.close()
+        assert log.rotations > 0
+        rotated = log_path.with_name(log_path.name + ".1")
+        assert rotated.exists()
+        # Every surviving line is complete, parseable JSON...
+        current = [json.loads(l) for l in log_path.read_text().splitlines()]
+        previous = [json.loads(l) for l in rotated.read_text().splitlines()]
+        assert current and previous
+        # ...files respect the byte bound (a single line may start a file)...
+        assert len(log_path.read_bytes()) <= 400
+        assert len(rotated.read_bytes()) <= 400
+        # ...and the two generations hold the most recent contiguous tail.
+        ids = [line["request_id"] for line in previous + current]
+        assert ids == [f"req-{i:04d}" for i in range(50 - len(ids), 50)]
+
+    def test_unbounded_by_default_and_rejects_negative(self, tmp_path):
+        log_path = tmp_path / "access.jsonl"
+        log = AccessLog(log_path)
+        try:
+            for i in range(100):
+                log.write({"request_id": i})
+        finally:
+            log.close()
+        assert log.rotations == 0
+        assert not log_path.with_name(log_path.name + ".1").exists()
+        assert len(log_path.read_text().splitlines()) == 100
+        with pytest.raises(ValueError):
+            AccessLog(log_path, max_bytes=-1)
+
+    def test_rotation_preserves_size_accounting_across_reopen(self, tmp_path):
+        """A reopened log appends (tell() seeds the size), then rotates."""
+        log_path = tmp_path / "access.jsonl"
+        first = AccessLog(log_path, max_bytes=200)
+        first.write({"request_id": "old-0"})
+        first.close()
+        log = AccessLog(log_path, max_bytes=200)
+        try:
+            for i in range(20):
+                log.write({"request_id": f"new-{i}"})
+        finally:
+            log.close()
+        assert log.rotations > 0
+        assert len(log_path.read_bytes()) <= 200
+
 
 class TestRequestTraceCorrelation:
     """Acceptance: an access-log request id resolves to pool-worker spans."""
