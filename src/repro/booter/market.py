@@ -290,6 +290,24 @@ class BooterMarket:
     def service_names(self) -> list[str]:
         return sorted(self.services)
 
+    def popularity_vector(self, names: list[str] | None = None) -> np.ndarray:
+        """Normalized popularity weights aligned with ``names``.
+
+        The shared demand/signup weighting used by the customer models
+        (:mod:`repro.economics`): raises a clear :class:`ValueError`
+        when every service's popularity is zero instead of letting a
+        ``0/0`` propagate NaN weights into downstream draws.
+        """
+        if names is None:
+            names = self.service_names()
+        weights = np.array([self.services[n].popularity for n in names], dtype=np.float64)
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError(
+                "every service popularity is zero — cannot form demand weights"
+            )
+        return weights / total
+
     def attacks_for_day(
         self,
         day: int,

@@ -9,9 +9,21 @@ of interventions — the FBI-style domain seizure, a payment-channel
 intervention (Brunt et al., WEIS 2017), and operator arrests (the
 Titanium Stresser conviction) — so their economic footprints can be
 compared under one simulation.
+
+Two customer engines share the intervention interface: the aggregate
+per-booter float step (:class:`CustomerPopulationModel`, the parity
+authority) and the columnar per-customer :class:`CustomerLedger`
+(:mod:`repro.economics.ledger`), which runs millions of simulated
+customers as packed parallel arrays and produces tenure, migration, and
+recidivism outputs. :func:`run_intervention_replicas` fans replicated
+``strategy x seed`` studies over the warm worker pool.
 """
 
-from repro.economics.customers import CustomerDynamics, CustomerPopulationModel
+from repro.economics.customers import (
+    CustomerDynamics,
+    CustomerPopulationModel,
+    normalize_popularity,
+)
 from repro.economics.interventions import (
     DomainSeizure,
     Intervention,
@@ -19,16 +31,36 @@ from repro.economics.interventions import (
     OperatorArrest,
     PaymentIntervention,
 )
-from repro.economics.simulate import EconomyReport, EconomySimulation
+from repro.economics.ledger import CustomerLedger
+from repro.economics.replicas import (
+    ReplicaResult,
+    ReplicaStudy,
+    ReplicaTask,
+    run_intervention_replicas,
+)
+from repro.economics.simulate import (
+    ECONOMY_MODELS,
+    EconomyReport,
+    EconomySimulation,
+    LedgerEconomyReport,
+)
 
 __all__ = [
     "CustomerDynamics",
+    "CustomerLedger",
     "CustomerPopulationModel",
     "DomainSeizure",
+    "ECONOMY_MODELS",
     "EconomyReport",
     "EconomySimulation",
     "Intervention",
+    "LedgerEconomyReport",
     "NoIntervention",
     "OperatorArrest",
     "PaymentIntervention",
+    "ReplicaResult",
+    "ReplicaStudy",
+    "ReplicaTask",
+    "normalize_popularity",
+    "run_intervention_replicas",
 ]

@@ -21,7 +21,35 @@ import numpy as np
 from repro.booter.market import BooterMarket
 from repro.stats.rng import SeedSequenceTree
 
-__all__ = ["CustomerDynamics", "CustomerPopulationModel"]
+__all__ = ["CustomerDynamics", "CustomerPopulationModel", "normalize_popularity"]
+
+
+def normalize_popularity(
+    popularity: np.ndarray, *, uniform_fallback: bool = False
+) -> np.ndarray:
+    """Normalize raw popularity weights into a probability vector.
+
+    A market whose services all have zero popularity has no meaningful
+    signup weighting: by default that raises a :class:`ValueError` (a
+    silent ``0/0`` would propagate NaNs through every downstream count);
+    with ``uniform_fallback`` it degrades to uniform weights instead,
+    which is the right behavior for churner re-signup weighting where
+    "nobody is more popular" should not mean "nobody re-signs".
+    """
+    weights = np.asarray(popularity, dtype=np.float64)
+    if weights.size == 0:
+        raise ValueError("popularity vector is empty — no services to weight")
+    if (weights < 0).any():
+        raise ValueError("popularity weights cannot be negative")
+    total = weights.sum()
+    if total <= 0:
+        if uniform_fallback:
+            return np.full(weights.size, 1.0 / weights.size)
+        raise ValueError(
+            "every service popularity is zero — cannot form signup weights "
+            "(pass uniform_fallback=True to weight services uniformly)"
+        )
+    return weights / total
 
 
 @dataclass(frozen=True)
@@ -76,7 +104,7 @@ class CustomerPopulationModel:
         self._seeds = seeds
         self.names = market.service_names()
         popularity = np.array([market.services[n].popularity for n in self.names])
-        self.popularity = popularity / popularity.sum()
+        self.popularity = normalize_popularity(popularity)
         self.customers = self.popularity * dynamics.initial_customers_per_popularity
 
     def step(
@@ -121,6 +149,9 @@ class CustomerPopulationModel:
 
         self.customers = self.customers + signups - natural - forced
         # Displaced customers migrate to booters still signing people up.
+        # When every signup weight is zero (all booters seized at once)
+        # there is nowhere to re-sign: the displaced leave the market
+        # entirely rather than dividing by a zero total weight.
         if displaced > 0 and total_weight > 0:
             self.customers = self.customers + (
                 migration_fraction * displaced * signup_weights / total_weight

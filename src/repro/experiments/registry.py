@@ -36,6 +36,7 @@ EXPERIMENTS: dict[str, Callable[[ExperimentConfig], ExperimentResult]] = {
     "landscape": fig2.run_landscape,
     # Extensions beyond the paper (its stated future work).
     "econ": extensions.run_econ,
+    "market": extensions.run_market,
     "whatif": extensions.run_whatif,
     "attribution": attribution_exp.run,
     "honeypot": honeypot_exp.run,

@@ -44,7 +44,15 @@ RUN_SCHEMA = "repro.obs.run/1"
 
 #: Counter families that measure *logical* work and must not depend on the
 #: execution strategy (see :mod:`repro.obs.metrics` naming conventions).
-DETERMINISTIC_PREFIXES: tuple[str, ...] = ("scenario.", "streaming.", "pipeline.")
+#: ``econ.`` counts simulated market events (customer-days, signups,
+#: churns, migrations, replicas) — identical for every ledger chunk size
+#: and replica executor, so it belongs in the drift digest.
+DETERMINISTIC_PREFIXES: tuple[str, ...] = (
+    "scenario.",
+    "streaming.",
+    "pipeline.",
+    "econ.",
+)
 
 #: Counter families that measure *physical* execution (strategy, load,
 #: transport) and are therefore excluded from the drift digest. Every
@@ -60,6 +68,9 @@ EXCLUDED_PREFIXES: tuple[str, ...] = (
     "parallel.",
     "topology.",
     "matrix.",
+    # Market-plane execution strategy: ledger chunk fan-out and replica
+    # dispatch counts vary with chunk_bytes / jobs, never with results.
+    "market.",
 )
 
 

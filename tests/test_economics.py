@@ -5,7 +5,11 @@ import pytest
 
 from repro.booter.market import BooterMarket, MarketConfig
 from repro.booter.reflectors import ReflectorPool
-from repro.economics.customers import CustomerDynamics, CustomerPopulationModel
+from repro.economics.customers import (
+    CustomerDynamics,
+    CustomerPopulationModel,
+    normalize_popularity,
+)
 from repro.economics.interventions import (
     DomainSeizure,
     NoIntervention,
@@ -84,6 +88,120 @@ class TestCustomerPopulationModel:
         b = CustomerPopulationModel(market, CustomerDynamics(), SeedSequenceTree(10))
         for day in range(5):
             np.testing.assert_allclose(a.step(day), b.step(day))
+
+
+class _StubService:
+    def __init__(self, popularity):
+        self.popularity = popularity
+
+
+class _StubMarket:
+    def __init__(self, pops):
+        self.services = {n: _StubService(p) for n, p in zip("ABCD", pops)}
+
+    def service_names(self):
+        return sorted(self.services)
+
+
+class TestZeroPopularity:
+    """Regression: an all-zero popularity vector must fail loudly, not 0/0."""
+
+    def test_normalize_rejects_degenerate_inputs(self):
+        with pytest.raises(ValueError, match="empty"):
+            normalize_popularity(np.array([]))
+        with pytest.raises(ValueError, match="negative"):
+            normalize_popularity(np.array([1.0, -0.5]))
+        with pytest.raises(ValueError, match="zero"):
+            normalize_popularity(np.zeros(4))
+
+    def test_normalize_uniform_fallback(self):
+        out = normalize_popularity(np.zeros(4), uniform_fallback=True)
+        np.testing.assert_allclose(out, 0.25)
+        # A healthy vector normalizes the same either way.
+        np.testing.assert_allclose(
+            normalize_popularity(np.array([3.0, 1.0]), uniform_fallback=True),
+            [0.75, 0.25],
+        )
+
+    def test_population_model_raises_not_nan(self):
+        with pytest.raises(ValueError, match="popularity"):
+            CustomerPopulationModel(
+                _StubMarket([0.0, 0.0, 0.0, 0.0]), CustomerDynamics(), SeedSequenceTree(1)
+            )
+
+    def test_market_popularity_vector(self, market):
+        weights = market.popularity_vector()
+        assert weights.sum() == pytest.approx(1.0)
+        assert (weights > 0).all()
+        assert weights.size == len(market.service_names())
+
+
+class TestInterventionEdgeCases:
+    """Degenerate parameters that used to be untested corners."""
+
+    def test_full_daily_churn(self):
+        dynamics = CustomerDynamics(churn_per_day=1.0)
+        model = CustomerPopulationModel(
+            _StubMarket([4.0, 2.0, 1.0, 1.0]), dynamics, SeedSequenceTree(21)
+        )
+        for day in range(5):
+            counts = model.step(day)
+        # The whole stock turns over daily: what's left is one day's inflow.
+        assert np.isfinite(counts).all()
+        assert 0 < counts.sum() < 4 * dynamics.market_signups_per_day
+
+    def test_all_booters_seized_simultaneously(self):
+        model = CustomerPopulationModel(
+            _StubMarket([4.0, 2.0, 1.0, 1.0]), CustomerDynamics(), SeedSequenceTree(22)
+        )
+        kill = {n: 0.0 for n in model.names}
+        burn = {n: 1.0 for n in model.names}
+        counts = model.step(0, signup_mult=kill, extra_churn=burn)
+        # Nowhere to migrate: the displaced leave rather than divide by zero.
+        assert np.isfinite(counts).all()
+        assert counts.sum() == 0.0
+        # A further day on the empty market stays finite and empty.
+        counts = model.step(1, signup_mult=kill, extra_churn=burn)
+        assert counts.sum() == 0.0
+
+    def test_intervention_at_horizon(self, market):
+        sim = EconomySimulation(market, SeedSequenceTree(23))
+        report = sim.run(40, DomainSeizure(day=40))
+        assert report.dip_fraction() == 0.0
+        assert report.recovery_day() is None
+        assert report.revenue_loss() == 0.0
+
+    def test_intervention_after_horizon(self, market):
+        sim = EconomySimulation(market, SeedSequenceTree(24))
+        report = sim.run(40, DomainSeizure(day=90))
+        assert report.dip_fraction() == 0.0
+        assert report.recovery_day() is None
+        assert report.revenue_loss() == 0.0
+
+    def test_intervention_on_day_zero(self, market):
+        sim = EconomySimulation(market, SeedSequenceTree(25))
+        report = sim.run(40, DomainSeizure(day=0))
+        # No pre-intervention baseline exists, so dip/loss are undefined -> 0.
+        assert report.dip_fraction() == 0.0
+        assert report.recovery_day() is None
+        assert report.revenue_loss() == 0.0
+
+    def test_degenerate_zero_trajectory(self):
+        from repro.economics.simulate import EconomyReport
+
+        report = EconomyReport(
+            intervention_name="flat zero",
+            days=np.arange(10),
+            customers=np.zeros((10, 2)),
+            revenue_per_day=np.zeros(10),
+            names=["A", "B"],
+            intervention_day=4,
+        )
+        # An all-zero market has no baseline to dip from; recovery is
+        # immediate (the zero threshold is met at the trough itself).
+        assert report.dip_fraction() == 0.0
+        assert report.recovery_day() == 4
+        assert report.revenue_loss() == 0.0
 
 
 class TestInterventions:

@@ -50,7 +50,7 @@ class TestRegistry:
             "table1", "fig1a", "fig1b", "fig1c", "fig2a", "fig2b", "fig2c",
             "fig3", "fig4", "fig5", "selfattack", "landscape",
             # Extensions (the paper's stated future work + related work).
-            "econ", "whatif", "attribution", "honeypot", "victimization",
+            "econ", "market", "whatif", "attribution", "honeypot", "victimization",
         }
         assert expected == set(EXPERIMENTS)
 

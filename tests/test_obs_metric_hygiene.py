@@ -67,6 +67,17 @@ def test_scan_finds_the_known_families():
     assert len(names) > 25
 
 
+def test_scan_covers_the_economics_plane():
+    """The ledger/replica counters are visible to the hygiene scan."""
+    names = _collect_metric_names()
+    assert any(site.startswith("economics/") for site in names["econ.signups"])
+    assert "econ.customer_days" in names
+    assert "econ.replicas" in names
+    assert "market.step_chunks" in names
+    assert "market.replica_tasks" in names
+    assert "market.ledger_resident_bytes" in names
+
+
 def test_every_literal_metric_name_is_classified():
     unclassified = {
         name: sites
@@ -99,18 +110,22 @@ def test_deterministic_counters_drops_every_excluded_family():
         "scenario.days_generated": 5.0,
         "streaming.flows_ingested": 100.0,
         "pipeline.days_processed": 5.0,
+        "econ.customer_days": 1e6,
         "cache.hits": 3.0,
         "pool.busy_s": 0.4,
         "serve.requests": 9.0,
         "shm.bytes": 4096.0,
         "visibility.matrix_hits": 7.0,
         "parallel.days_dispatched": 5.0,
+        "market.step_chunks": 12.0,
+        "market.ledger_resident_bytes": 9e7,
     }
     kept = deterministic_counters(counters)
     assert set(kept) == {
         "scenario.days_generated",
         "streaming.flows_ingested",
         "pipeline.days_processed",
+        "econ.customer_days",
     }
     for name in counters:
         if name not in kept:
